@@ -1,0 +1,28 @@
+"""Figure 6 — the benchmark-application table."""
+
+from repro.sim.figures import figure6
+from repro.workloads import APP_NAMES, APPS
+
+
+def test_figure6_benchmark_table(benchmark, record_figure):
+    result = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    record_figure(result)
+    text = result.text
+    for app in APP_NAMES:
+        assert app in text
+    # the paper's session sizes appear in the table
+    assert "7,787" in text  # amazon events
+    assert "2,722" in text  # gmaps Minstr
+
+
+def test_relative_proportions_follow_paper():
+    """Our scaled sessions keep the paper's orderings."""
+    def ours(name):
+        app = APPS[name]
+        return app.n_events * app.event_len_mean
+
+    # pixlr is by far the smallest session; gmaps among the largest
+    assert ours("pixlr") == min(ours(a) for a in APP_NAMES)
+    assert ours("gmaps") == max(ours(a) for a in APP_NAMES)
+    # cnn executes the most events, as in Figure 6
+    assert APPS["cnn"].n_events == max(APPS[a].n_events for a in APP_NAMES)

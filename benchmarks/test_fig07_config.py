@@ -1,0 +1,35 @@
+"""Figure 7 — the simulated machine configuration."""
+
+from repro.sim.config import SimConfig
+from repro.sim.figures import figure7
+
+
+def test_figure7_simulator_configuration(benchmark, record_figure):
+    result = benchmark.pedantic(figure7, rounds=1, iterations=1)
+    record_figure(result)
+    text = result.text
+    assert "4-wide" in text
+    assert "96-entry ROB" in text
+    assert "32 KB" in text
+    assert "2 MB" in text
+    assert "Pentium M" in text
+
+
+def test_defaults_match_paper():
+    cfg = SimConfig()
+    assert cfg.core.width == 4
+    assert cfg.core.rob_entries == 96
+    assert cfg.core.lsq_entries == 16
+    assert cfg.core.mispredict_penalty == 15
+    assert cfg.memory.l1i.size_bytes == 32 * 1024
+    assert cfg.memory.l1i.assoc == 2
+    assert cfg.memory.l2.size_bytes == 2 * 1024 * 1024
+    assert cfg.memory.l2.assoc == 16
+    assert cfg.memory.l2.hit_latency == 21
+    assert cfg.memory.dram_latency == 101
+    assert cfg.branch.global_entries == 2048
+    assert cfg.branch.ibtb_entries == 256
+    assert cfg.branch.btb_entries == 2048
+    assert cfg.branch.local_entries == 4096
+    assert cfg.prefetch.stride_entries == 256
+    assert cfg.prefetch.dcu_trigger == 4

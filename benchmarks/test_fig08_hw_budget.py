@@ -1,0 +1,26 @@
+"""Figure 8 — the ESP hardware budget (12.6 KB / 1.2 KB)."""
+
+import pytest
+
+from repro.energy import esp_area_budget
+from repro.sim.figures import figure8
+
+
+def test_figure8_hw_budget(benchmark, record_figure):
+    result = benchmark.pedantic(figure8, rounds=1, iterations=1)
+    record_figure(result)
+    assert "12.6" in result.text
+
+
+def test_budget_matches_paper():
+    esp1, esp2 = esp_area_budget()
+    assert esp1.i_cachelet == 5632  # 5.5 KB
+    assert esp2.i_cachelet == 512  # 0.5 KB
+    assert esp1.i_list == 499 and esp2.i_list == 68
+    assert esp1.d_list == 510 and esp2.d_list == 57
+    assert esp1.b_list_direction == 566 and esp2.b_list_direction == 80
+    assert esp1.b_list_target == 41 and esp2.b_list_target == 6
+    assert esp1.total / 1024 == pytest.approx(12.6, abs=0.05)
+    assert esp2.total / 1024 == pytest.approx(1.25, abs=0.06)
+    # total added state ~13.8 KB
+    assert (esp1.total + esp2.total) / 1024 == pytest.approx(13.9, abs=0.1)

@@ -1,0 +1,40 @@
+"""Figure 9 — the headline comparison: ESP vs next-line vs runahead.
+
+Paper HMeans over the no-prefetch baseline: NL +13.8%, NL+S +13.9%,
+Runahead +12%, Runahead+NL +21%, ESP+NL +32%.
+"""
+
+from conftest import hmean_improvement
+
+from repro.sim.figures import figure9
+
+
+def test_figure9_performance(benchmark, runner, record_figure):
+    result = benchmark.pedantic(figure9, args=(runner,), rounds=1,
+                                iterations=1)
+    record_figure(result)
+    series = result.series
+    nl = hmean_improvement(series["NL"])
+    nl_s = hmean_improvement(series["NL + S"])
+    ra = hmean_improvement(series["Runahead"])
+    ra_nl = hmean_improvement(series["Runahead + NL"])
+    esp_nl = hmean_improvement(series["ESP + NL"])
+
+    # every technique improves over the no-prefetch baseline
+    for label in series:
+        assert hmean_improvement(series[label]) > 0, label
+    # next-line lands in the paper's ballpark (~14%)
+    assert 8.0 < nl < 22.0
+    # stride adds almost nothing on top of NL (paper: +0.1%)
+    assert abs(nl_s - nl) < 4.0
+    # NL complements runahead and ESP
+    assert ra_nl > ra
+    assert esp_nl > hmean_improvement(series["ESP"])
+    # the headline ordering: ESP+NL beats Runahead+NL beats NL
+    assert esp_nl > ra_nl > nl
+
+
+def test_esp_wins_on_every_app(runner):
+    series = figure9(runner).series
+    for app, improvement in series["ESP + NL"].items():
+        assert improvement > 0, f"ESP+NL must improve {app}"

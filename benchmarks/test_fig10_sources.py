@@ -1,0 +1,38 @@
+"""Figure 10 — sources of performance in ESP.
+
+Paper: the naive design (no cachelets/lists, fetch straight into L1/L2,
+train the shared predictor) hardly improves performance and can degrade it;
+I-list prefetching contributes the largest share (+9.1% over NL), B-lists
+add ~6%, D-lists ~3.3%.
+"""
+
+from conftest import hmean_improvement
+
+from repro.sim.figures import figure9, figure10
+
+
+def test_figure10_sources(benchmark, runner, record_figure):
+    result = benchmark.pedantic(figure10, args=(runner,), rounds=1,
+                                iterations=1)
+    record_figure(result)
+    series = result.series
+    nl = hmean_improvement(figure9(runner).series["NL"])
+    naive_nl = hmean_improvement(series["Naive ESP + NL"])
+    esp_i = hmean_improvement(series["ESP-I + NL"])
+    esp_ib = hmean_improvement(series["ESP-I,B + NL"])
+    esp_ibd = hmean_improvement(series["ESP-I,B,D + NL"])
+
+    # naive ESP adds almost nothing over plain NL (paper: ~0, can degrade)
+    assert naive_nl < nl + 5.0
+    # the staged designs each add benefit, in the paper's order
+    assert esp_i > nl
+    assert esp_ib > esp_i
+    assert esp_ibd >= esp_ib - 1.0  # D-lists add a small final increment
+    # the I-list is the largest single contribution
+    assert (esp_i - nl) >= (esp_ib - esp_i) - 2.0
+
+
+def test_naive_esp_degrades_somewhere(runner):
+    """The paper observes naive ESP degrading some apps (e.g. pixlr)."""
+    series = figure10(runner).series["Naive ESP"]
+    assert min(series.values()) < 5.0

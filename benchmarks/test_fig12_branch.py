@@ -1,0 +1,42 @@
+"""Figure 12 — branch-predictor design space.
+
+Paper: naively sharing the PIR and tables with pre-execution gives no gain;
+replicating the whole predictor per ESP mode helps (9.9% -> 7.4%); the ESP
+design — a replicated PIR plus B-list just-in-time training — beats even
+full replication (6.1%) at a fraction of the area.
+"""
+
+from conftest import mean
+
+from repro.sim.figures import figure12
+
+
+def test_figure12_branch_design_space(benchmark, runner, record_figure):
+    result = benchmark.pedantic(figure12, args=(runner,), rounds=1,
+                                iterations=1)
+    record_figure(result)
+    series = result.series
+    base = mean(series["bp base"])
+    naive = mean(series["no extra H/W"])
+    sep_ctx = mean(series["separate context"])
+    sep_tables = mean(series["separate context and tables"])
+    esp = mean(series["separate context + B-list (ESP)"])
+
+    # naive sharing pollutes: no gain (paper shows it slightly *worse*)
+    assert naive >= base - 0.3
+    # isolating the path context already helps
+    assert sep_ctx < base
+    # full replication helps too
+    assert sep_tables < base
+    # the ESP design is the best of the space (paper's key BP result)
+    assert esp < sep_tables
+    assert esp < sep_ctx
+    assert esp < base
+
+
+def test_esp_bp_wins_on_every_app(runner):
+    series = figure12(runner).series
+    esp = series["separate context + B-list (ESP)"]
+    base = series["bp base"]
+    wins = sum(esp[app] < base[app] for app in base)
+    assert wins == len(base)

@@ -1,0 +1,32 @@
+"""Figure 14 — energy overhead.
+
+Paper: ESP executes ~21.2% extra instructions (per-app 11.7%-31.5%) yet
+costs only ~8% more energy, because the shorter runtime claws back static
+energy and fewer mispredictions cut wrong-path work.
+"""
+
+from conftest import mean
+
+from repro.sim.figures import figure14
+
+
+def test_figure14_energy(benchmark, runner, record_figure):
+    result = benchmark.pedantic(figure14, args=(runner,), rounds=1,
+                                iterations=1)
+    record_figure(result)
+    energy = mean(result.series["energy overhead vs NL"])
+    extra = mean(result.series["extra instructions"])
+
+    # ESP pre-executes a meaningful fraction of extra instructions
+    # (paper: ~21%)
+    assert 5.0 < extra < 45.0
+    # the energy overhead is a small fraction of the instruction overhead
+    # (paper: ~8% energy for ~21% instructions)
+    assert energy < extra
+    assert -5.0 < energy < 20.0
+
+
+def test_energy_overhead_bounded_per_app(runner):
+    series = figure14(runner).series["energy overhead vs NL"]
+    for app, overhead in series.items():
+        assert overhead < 30.0, f"{app} energy overhead out of range"

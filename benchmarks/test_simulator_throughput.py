@@ -1,0 +1,34 @@
+"""Simulator throughput — how fast the trace-driven model itself runs.
+
+Not a paper figure; tracks the cost of the reproduction's hot loop so
+regressions in simulation speed are visible.
+"""
+
+from repro.sim import presets
+from repro.sim.simulator import Simulator
+from repro.workloads import EventTrace, get_app
+
+
+def test_baseline_simulation_throughput(benchmark):
+    trace = EventTrace(get_app("pixlr"))
+    # materialise events up front so the benchmark isolates the simulator
+    for k in range(len(trace)):
+        trace.event(k)
+
+    def run():
+        return Simulator(trace, presets.nl()).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions > 0
+
+
+def test_esp_simulation_throughput(benchmark):
+    trace = EventTrace(get_app("pixlr"))
+    for k in range(len(trace)):
+        trace.event(k)
+
+    def run():
+        return Simulator(trace, presets.esp_nl()).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.esp.total_pre_instructions > 0

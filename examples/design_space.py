@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Sweep ESP's design space: jump-ahead depth and cachelet sizing.
+
+Reproduces the flavour of Section 6.6's provisioning study
+interactively: how much performance does each jump-ahead mode add, and how
+small can the cachelets get before pre-execution slows down enough to hurt
+hint coverage?
+
+Usage:
+    python examples/design_space.py [app] [scale]
+"""
+
+import dataclasses
+import sys
+
+from repro import presets, simulate
+from repro.workloads import APP_NAMES
+
+
+def esp_variant(name, **esp_changes):
+    base = presets.esp_nl()
+    return base.replace(name=name,
+                        esp=dataclasses.replace(base.esp, **esp_changes))
+
+
+def depth_variant(depth: int):
+    return esp_variant(
+        f"depth-{depth}", depth=depth,
+        i_cachelet_bytes=(5632,) + (512,) * (depth - 1),
+        d_cachelet_bytes=(5632,) + (512,) * (depth - 1),
+        i_list_bytes=(499,) + (68,) * (depth - 1),
+        d_list_bytes=(510,) + (57,) * (depth - 1),
+        b_list_dir_bytes=(566,) + (80,) * (depth - 1),
+        b_list_tgt_bytes=(41,) + (6,) * (depth - 1))
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "amazon"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.5
+    if app not in APP_NAMES:
+        raise SystemExit(f"unknown app {app!r}")
+
+    base = simulate(app, presets.baseline(), scale=scale)
+    print(f"app={app}, scale={scale}; improvements over no-prefetch "
+          f"baseline\n")
+
+    print("jump-ahead depth (the paper settles on 2):")
+    for depth in (1, 2, 3, 4):
+        result = simulate(app, depth_variant(depth), scale=scale)
+        pre = result.esp.pre_instructions
+        print(f"  depth {depth}: {result.improvement_over(base):+6.2f}%   "
+              f"pre-executed per mode: {pre}")
+
+    print("\nI/D-cachelet capacity (the paper provisions 5.5 KB / 0.5 KB):")
+    for kb in (1, 2, 5.5, 16):
+        size = int(kb * 1024)
+        cfg = esp_variant(f"cachelet-{kb}KB",
+                          i_cachelet_bytes=(size, max(256, size // 11)),
+                          d_cachelet_bytes=(size, max(256, size // 11)))
+        result = simulate(app, cfg, scale=scale)
+        stats = result.esp
+        hit_rate = 0.0
+        if stats.i_cachelet_accesses:
+            hit_rate = 100.0 * (1 - stats.i_cachelet_misses
+                                / stats.i_cachelet_accesses)
+        print(f"  {kb:>4} KB: {result.improvement_over(base):+6.2f}%   "
+              f"I-cachelet hit rate {hit_rate:5.1f}%")
+
+    print("\nB-list just-in-time training lead (branches ahead):")
+    for lead in (2, 8, 32):
+        result = simulate(app, esp_variant(f"lead-{lead}",
+                                           blist_train_lead=lead),
+                          scale=scale)
+        print(f"  lead {lead:>3}: {result.improvement_over(base):+6.2f}%   "
+              f"BP misprediction "
+              f"{100 * result.branch_misprediction_rate:5.2f}%")
+
+
+if __name__ == "__main__":
+    main()

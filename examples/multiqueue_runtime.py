@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""ESP under a multi-queue runtime (the paper's Section 4.5 extension).
+
+The main evaluation assumes one event queue, so the hardware always knows
+the next two events exactly. Real runtimes juggle several queues (input,
+timers, network) with priorities, late arrivals, and synchronous barriers;
+the runtime must *predict* the next events, and mispredicted slots must
+have their recorded hints suppressed (the hardware queue's
+incorrect-prediction bit).
+
+This example runs the same app under increasingly chaotic runtimes and
+shows ESP degrading gracefully: each order misprediction costs one event's
+hints, nothing more.
+
+Usage:
+    python examples/multiqueue_runtime.py [app] [scale]
+"""
+
+import sys
+
+from repro import presets
+from repro.runtime import identity_schedule
+from repro.runtime.arbiter import build_multiqueue_schedule
+from repro.sim.simulator import Simulator
+from repro.workloads import APP_NAMES, EventTrace, get_app
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "amazon"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.6
+    if app not in APP_NAMES:
+        raise SystemExit(f"unknown app {app!r}")
+
+    trace = EventTrace(get_app(app), scale=scale)
+
+    scenarios = [("single queue (paper's setup)",
+                  identity_schedule(len(trace)))]
+    for label, barrier_rate, late_rate in (
+            ("calm multi-queue", 0.02, 0.05),
+            ("busy multi-queue", 0.06, 0.15),
+            ("chaotic multi-queue", 0.15, 0.35)):
+        scenarios.append((label, build_multiqueue_schedule(
+            len(trace), seed=11, barrier_rate=barrier_rate,
+            late_arrival_rate=late_rate)))
+
+    header = (f"{'runtime':<28}{'order-miss%':>12}{'ESP gain':>10}"
+              f"{'hinted':>8}{'suppressed':>11}")
+    print(f"app={app}, {len(trace)} events\n")
+    print(header)
+    print("-" * len(header))
+    for label, schedule in scenarios:
+        result = Simulator(trace, presets.esp_nl(),
+                           schedule=schedule).run()
+        # the baseline must see the same execution order for a fair speedup
+        base_sched = Simulator(trace, presets.baseline(),
+                               schedule=schedule).run()
+        print(f"{label:<28}"
+              f"{100 * schedule.misprediction_rate:>11.1f}%"
+              f"{result.improvement_over(base_sched):>9.1f}%"
+              f"{result.esp.hinted_events:>8}"
+              f"{result.esp.order_mispredictions:>11}")
+
+    print("\nEach order misprediction suppresses one event's hints (the "
+          "incorrect-prediction bit); ESP keeps its gains on the "
+          "correctly-predicted majority.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Equivalent to running the benchmark harness, but as a plain script:
+
+    python examples/reproduce_figures.py            # everything
+    python examples/reproduce_figures.py figure9 figure12
+
+Results cache under ``.repro_cache/`` so re-runs are fast. Set
+``REPRO_SCALE`` to trade fidelity for time (e.g. ``REPRO_SCALE=0.4``).
+"""
+
+import sys
+import time
+
+from repro.sim.experiments import ExperimentRunner
+from repro.sim.figures import ALL_FIGURES
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or list(ALL_FIGURES)
+    unknown = [name for name in wanted if name not in ALL_FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figures: {', '.join(unknown)}; "
+                         f"choose from {', '.join(ALL_FIGURES)}")
+    runner = ExperimentRunner()
+    print(f"workload scale: {runner.scale} "
+          f"(~1/{int(1000 / runner.scale)} of the paper's traces); "
+          f"cache: {runner.cache_dir}\n")
+    for name in wanted:
+        start = time.time()
+        figure = ALL_FIGURES[name](runner)
+        print(figure.format())
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main()

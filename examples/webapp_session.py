@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Inspect one synthetic web-app browsing session event by event.
+
+The paper's motivation (Section 2) is that asynchronous programs interleave
+many short, varied events, destroying locality. This example materialises
+one session and prints a per-event picture — handler, length, instruction
+and data working sets, and whether a speculative pre-execution of the event
+would diverge from its eventual execution — then summarises exactly the
+characteristics the paper measures (Figure 2's illustration, Section 5's
+>99% speculation accuracy).
+
+Usage:
+    python examples/webapp_session.py [app] [scale]
+"""
+
+import sys
+from collections import Counter
+
+from repro.isa import summarize_stream
+from repro.workloads import APP_NAMES, EventTrace, get_app
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "gmaps"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.4
+    if app not in APP_NAMES:
+        raise SystemExit(f"unknown app {app!r}")
+
+    profile = get_app(app)
+    trace = EventTrace(profile, scale=scale)
+    print(f"Session: {profile.name} — \"{profile.actions}\"")
+    print(f"(paper session: {profile.paper_events:,} events, "
+          f"{profile.paper_minstr:,} M instructions; this scaled trace: "
+          f"{len(trace)} events)\n")
+
+    header = (f"{'event':>5} {'handler':>8} {'instrs':>8} {'i-set KB':>9} "
+              f"{'d-set KB':>9} {'branches':>9} {'diverged':>9}")
+    print(header)
+    print("-" * len(header))
+
+    handlers = Counter()
+    total_instructions = 0
+    diverged = 0
+    for k in range(len(trace)):
+        event = trace.event(k)
+        stats = summarize_stream(event.true_stream)
+        handlers[event.handler_fid] += 1
+        total_instructions += stats.instructions
+        diverged += event.diverged
+        print(f"{k:>5} {event.handler_fid:>8} {stats.instructions:>8,} "
+              f"{stats.i_footprint_bytes / 1024:>9.1f} "
+              f"{stats.d_footprint_bytes / 1024:>9.1f} "
+              f"{stats.branches:>9,} "
+              f"{'yes' if event.diverged else '':>9}")
+
+    print(f"\n{len(trace)} events, {total_instructions:,} instructions, "
+          f"{len(handlers)} distinct handlers "
+          f"(hottest ran {handlers.most_common(1)[0][1]} times).")
+    accuracy = 100.0 * (len(trace) - diverged) / len(trace)
+    print(f"Speculative pre-executions match the eventual execution for "
+          f"{accuracy:.1f}% of events (paper: >99% — events are largely "
+          f"independent, which is what makes Event Sneak Peek accurate).")
+    print("Consecutive events run different handlers over different data —"
+          " the fine-grained interleaving that destroys locality on a"
+          " conventional core.")
+
+
+if __name__ == "__main__":
+    main()

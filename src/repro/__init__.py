@@ -1,0 +1,64 @@
+"""Reproduction of *Accelerating Asynchronous Programs through Event Sneak
+Peek* (Chadha, Mahlke & Narayanasamy, ISCA 2015).
+
+Quickstart::
+
+    from repro import simulate, presets
+
+    base = simulate("amazon", presets.nl_s())
+    esp = simulate("amazon", presets.esp_nl())
+    print(f"ESP improves performance by "
+          f"{esp.improvement_over(base):.1f}%")
+
+The package layers:
+
+* :mod:`repro.workloads` — synthetic asynchronous (event-driven) workloads
+  standing in for the paper's Chromium traces;
+* :mod:`repro.memory`, :mod:`repro.branch`, :mod:`repro.prefetch`,
+  :mod:`repro.core` — the baseline machine of Figure 7;
+* :mod:`repro.esp` — the Event Sneak Peek architecture (the contribution);
+* :mod:`repro.runahead` — the runahead-execution comparison point;
+* :mod:`repro.sim` — configuration, the simulator, the experiment harness;
+* :mod:`repro.energy` — energy/area models;
+* :mod:`repro.analysis` — figure/table formatting.
+"""
+
+from repro.sim import presets
+from repro.sim.config import (
+    EspBpMode,
+    EspConfig,
+    PerfectConfig,
+    PrefetchConfig,
+    RunaheadConfig,
+    SimConfig,
+)
+from repro.sim.results import SimResult
+from repro.workloads import APP_NAMES, APPS, AppProfile, EventTrace, get_app
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPS",
+    "APP_NAMES",
+    "AppProfile",
+    "EspBpMode",
+    "EspConfig",
+    "EventTrace",
+    "PerfectConfig",
+    "PrefetchConfig",
+    "RunaheadConfig",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "get_app",
+    "presets",
+    "simulate",
+]
+
+
+def __getattr__(name):
+    if name in ("Simulator", "simulate"):
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

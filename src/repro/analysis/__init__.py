@@ -1,0 +1,18 @@
+"""Result formatting, charts, reporting and calibration tooling."""
+
+from repro.analysis.calibration import CalibrationReport, calibrate_app
+from repro.analysis.charts import bar_chart, grouped_chart, hbar
+from repro.analysis.reporting import generate_markdown
+from repro.analysis.tables import format_figure_table, format_series, hmean
+
+__all__ = [
+    "CalibrationReport",
+    "bar_chart",
+    "calibrate_app",
+    "format_figure_table",
+    "format_series",
+    "generate_markdown",
+    "grouped_chart",
+    "hbar",
+    "hmean",
+]

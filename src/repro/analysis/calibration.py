@@ -1,0 +1,107 @@
+"""Workload calibration against the paper's baseline characteristics.
+
+The synthetic workloads must land in the statistical neighbourhood the paper
+reports for its Chromium traces before any ESP experiment is meaningful:
+
+* L1-I MPKI around 15-30 under no prefetching (Figure 11a's ``base``),
+* L1-D miss rate around 3-6 % (Figure 11b's ``base``),
+* branch misprediction rate around 8-13 % (Figure 12's ``base``),
+* Figure 3 potentials: perfect-L1I the largest single win, perfect-L1D and
+  perfect-BP meaningful but smaller, perfect-everything ≈ +100 %.
+
+:func:`calibrate_app` measures all of these for one app so profile tuning is
+a single command:
+
+    python -m repro.analysis.calibration amazon gmaps
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim import presets
+from repro.sim.simulator import simulate
+
+
+@dataclass
+class CalibrationReport:
+    """Baseline statistics of one app at one scale."""
+
+    app: str
+    instructions: int
+    events: int
+    ipc: float
+    l1i_mpki: float
+    l1d_miss_pct: float
+    branch_mispredict_pct: float
+    llc_i_per_kinstr: float
+    llc_d_per_kinstr: float
+    stall_ifetch_share: float
+    stall_data_share: float
+    stall_branch_share: float
+    potential_l1d_pct: float
+    potential_branch_pct: float
+    potential_l1i_pct: float
+    potential_all_pct: float
+
+    def format(self) -> str:
+        return (
+            f"{self.app:9s} instr={self.instructions:>8d} "
+            f"IPC={self.ipc:.3f} I-MPKI={self.l1i_mpki:5.1f} "
+            f"D%={self.l1d_miss_pct:5.2f} BP%={self.branch_mispredict_pct:5.2f} "
+            f"llcI/k={self.llc_i_per_kinstr:4.1f} llcD/k={self.llc_d_per_kinstr:4.1f} "
+            f"stalls[i/d/b]={self.stall_ifetch_share:.2f}/"
+            f"{self.stall_data_share:.2f}/{self.stall_branch_share:.2f} "
+            f"potential[D/B/I/all]={self.potential_l1d_pct:.0f}/"
+            f"{self.potential_branch_pct:.0f}/{self.potential_l1i_pct:.0f}/"
+            f"{self.potential_all_pct:.0f}%"
+        )
+
+
+def calibrate_app(app: str, scale: float = 1.0,
+                  seed: int = 0) -> CalibrationReport:
+    """Measure the calibration statistics for one app."""
+    base = simulate(app, presets.baseline(), scale=scale, seed=seed)
+    pot_base = simulate(app, presets.potential_baseline(), scale=scale,
+                        seed=seed)
+
+    def potential(name: str) -> float:
+        r = simulate(app, presets.by_name(name), scale=scale, seed=seed)
+        return (pot_base.cycles / r.cycles - 1.0) * 100.0
+
+    kinstr = base.instructions / 1000.0
+    total_stall = max(1.0, base.stall_ifetch + base.stall_data
+                      + base.stall_branch)
+    return CalibrationReport(
+        app=app,
+        instructions=base.instructions,
+        events=base.events,
+        ipc=base.ipc,
+        l1i_mpki=base.l1i_mpki,
+        l1d_miss_pct=100.0 * base.l1d_miss_rate,
+        branch_mispredict_pct=100.0 * base.branch_misprediction_rate,
+        llc_i_per_kinstr=base.llc_i_misses / kinstr,
+        llc_d_per_kinstr=base.llc_d_misses / kinstr,
+        stall_ifetch_share=base.stall_ifetch / total_stall,
+        stall_data_share=base.stall_data / total_stall,
+        stall_branch_share=base.stall_branch / total_stall,
+        potential_l1d_pct=potential("perfect_l1d"),
+        potential_branch_pct=potential("perfect_branch"),
+        potential_l1i_pct=potential("perfect_l1i"),
+        potential_all_pct=potential("perfect_all"),
+    )
+
+
+def main(argv: list[str] | None = None) -> None:  # pragma: no cover
+    """CLI: print calibration reports for the requested (or all) apps."""
+    import sys
+
+    from repro.workloads import APP_NAMES
+
+    apps = (argv if argv is not None else sys.argv[1:]) or list(APP_NAMES)
+    for app in apps:
+        print(calibrate_app(app).format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

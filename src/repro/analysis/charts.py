@@ -1,0 +1,64 @@
+"""Terminal bar charts for the examples and reports.
+
+The paper's figures are bar charts; these helpers render the same data as
+Unicode horizontal bars so the examples can show shapes directly in a
+terminal, with no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def hbar(value: float, max_value: float, width: int = 40) -> str:
+    """One horizontal bar scaled so ``max_value`` fills ``width`` cells."""
+    if max_value <= 0 or value <= 0:
+        return ""
+    fraction = min(1.0, value / max_value)
+    cells = fraction * width
+    full = int(cells)
+    eighths = round((cells - full) * 8)
+    partial = _BLOCKS[eighths] if full < width and eighths > 0 else ""
+    return "█" * full + partial
+
+
+def bar_chart(values: Mapping[str, float], title: str = "",
+              width: int = 40, unit: str = "") -> str:
+    """Render ``{label: value}`` as an aligned horizontal bar chart.
+
+    Negative values render as left-marked bars so regressions stand out.
+    """
+    if not values:
+        return title
+    label_width = max(len(label) for label in values)
+    peak = max((abs(v) for v in values.values()), default=0.0)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = hbar(abs(value), peak, width)
+        sign = "-" if value < 0 else " "
+        lines.append(f"{label:<{label_width}} {sign}{bar:<{width + 1}} "
+                     f"{value:>8.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_chart(series: Mapping[str, Mapping[str, float]],
+                  title: str = "", width: int = 30,
+                  unit: str = "") -> str:
+    """Render ``{group: {label: value}}`` as grouped bar charts sharing one
+    scale (so groups are visually comparable)."""
+    if not series:
+        return title
+    peak = max((abs(v) for group in series.values()
+                for v in group.values()), default=0.0)
+    label_width = max(len(label) for group in series.values()
+                      for label in group)
+    lines = [title] if title else []
+    for group, values in series.items():
+        lines.append(f"{group}:")
+        for label, value in values.items():
+            bar = hbar(abs(value), peak, width)
+            lines.append(f"  {label:<{label_width}} {bar:<{width + 1}} "
+                         f"{value:>8.2f}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Text rendering of figure data, shared by the benchmark harnesses.
+
+The paper's figures are bar charts over (app × configuration); these helpers
+print the same data as aligned text tables with a harmonic-mean column,
+which is what ``EXPERIMENTS.md`` records.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def hmean(values: Sequence[float]) -> float:
+    """Harmonic mean (the paper's summary statistic for speedups)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def format_series(label: str, per_app: Mapping[str, float],
+                  unit: str = "%", width: int = 9) -> str:
+    """One figure series as a single aligned row."""
+    cells = "".join(f"{per_app[app]:>{width}.2f}" for app in per_app)
+    return f"{label:<28s}{cells}  [{unit}]"
+
+
+def format_figure_table(title: str,
+                        series: Mapping[str, Mapping[str, float]],
+                        unit: str = "%",
+                        summary: str = "hmean") -> str:
+    """Render one figure: rows = series (configurations), columns = apps,
+    plus a summary column.
+
+    ``summary`` is ``"hmean"`` (of 1 + pct/100, reported back as a
+    percentage — how the paper summarises improvements), ``"mean"``, or
+    ``None``.
+    """
+    if not series:
+        return title
+    apps = list(next(iter(series.values())))
+    width = max(9, max(len(a) for a in apps) + 2)
+    header = f"{'':28s}" + "".join(f"{a:>{width}s}" for a in apps)
+    if summary:
+        header += f"{summary.upper():>{width}s}"
+    lines = [title, header, "-" * len(header)]
+    for label, per_app in series.items():
+        cells = "".join(f"{per_app[a]:>{width}.2f}" for a in apps)
+        if summary == "hmean":
+            agg = (hmean([1.0 + per_app[a] / 100.0 for a in apps]) - 1.0) \
+                * 100.0
+            cells += f"{agg:>{width}.2f}"
+        elif summary == "mean":
+            agg = sum(per_app[a] for a in apps) / len(apps)
+            cells += f"{agg:>{width}.2f}"
+        lines.append(f"{label:<28s}{cells}")
+    lines.append(f"(values in {unit})")
+    return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""Branch prediction: a Pentium M-style predictor with replicable path
+context, per the baseline machine of Figure 7 and the design-space study of
+Figure 12.
+"""
+
+from repro.branch.pentium_m import BranchOutcome, PentiumMPredictor
+
+__all__ = ["BranchOutcome", "PentiumMPredictor"]

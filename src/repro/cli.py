@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate`` — run one app through one machine preset and print the
+  result summary.
+* ``figures`` — regenerate the paper's tables/figures (cached).
+* ``calibrate`` — print the workload-calibration report per app.
+* ``apps`` — list the benchmark application profiles (Figure 6).
+* ``presets`` — list the named machine configurations.
+* ``inspect`` — per-event anatomy of one app's trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim import presets
+    from repro.sim.simulator import simulate
+
+    config = presets.by_name(args.config)
+    result = simulate(args.app, config, scale=args.scale, seed=args.seed)
+    r = result
+    print(f"app={r.app} config={r.config}")
+    print(f"  instructions  {r.instructions:>12,}")
+    print(f"  cycles        {r.cycles:>12,.0f}")
+    print(f"  IPC           {r.ipc:>12.3f}")
+    print(f"  L1-I MPKI     {r.l1i_mpki:>12.1f}")
+    print(f"  L1-D miss     {100 * r.l1d_miss_rate:>11.2f}%")
+    print(f"  BP mispredict {100 * r.branch_misprediction_rate:>11.2f}%")
+    print(f"  LLC misses    {r.llc_i_misses:>6,} I / {r.llc_d_misses:,} D")
+    if r.esp.total_pre_instructions:
+        print(f"  pre-executed  {r.esp.total_pre_instructions:>12,} "
+              f"({100 * r.extra_instruction_fraction:.1f}% extra)")
+        print(f"  hinted events {r.esp.hinted_events:>12,}")
+    print(f"  energy        {r.energy.total:>12,.0f} units "
+          f"(static {100 * r.energy.static / r.energy.total:.0f}%)")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.sim.figures import main as figures_main
+
+    names = list(args.names)
+    if args.json:
+        names.insert(0, "--json")
+    figures_main(names or None)
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.analysis.calibration import main as calibrate_main
+
+    calibrate_main(args.apps or None)
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    from repro.workloads import APPS, EventTrace
+
+    for app in APPS.values():
+        trace = EventTrace(app, scale=args.scale)
+        total = sum(trace._target_len)
+        print(f"{app.name:<10} events={len(trace):<5} "
+              f"instructions~{total:<10,} {app.actions[:60]}")
+    return 0
+
+
+def _cmd_presets(args: argparse.Namespace) -> int:
+    from repro.sim import presets
+
+    for name in sorted(presets.preset_names()):
+        config = presets.by_name(name)
+        tags = []
+        if config.esp.enabled:
+            tags.append("esp" + (":naive" if config.esp.naive else "")
+                        + (":ideal" if config.esp.ideal else ""))
+        if config.runahead.enabled:
+            tags.append("runahead" + (":d-only" if config.runahead.d_only
+                                      else ""))
+        if config.perfect.any:
+            tags.append("perfect")
+        print(f"{name:<22} {config.name:<28} {' '.join(tags)}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.reporting import generate_markdown
+
+    print(generate_markdown(args.output_dir) if args.output_dir
+          else generate_markdown(), end="")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.isa import summarize_stream
+    from repro.workloads import EventTrace, get_app
+
+    trace = EventTrace(get_app(args.app), scale=args.scale, seed=args.seed)
+    print(f"{args.app}: {len(trace)} events, code image "
+          f"{trace.image.code_bytes / 1024:.0f} KB, "
+          f"{len(trace.image.functions)} functions")
+    indices = [args.event] if args.event is not None else range(len(trace))
+    for k in indices:
+        event = trace.event(k)
+        stats = summarize_stream(event.true_stream)
+        print(f"  event {k:>3}: handler {event.handler_fid:<5} "
+              f"{stats.instructions:>7,} instrs  "
+              f"i-set {stats.i_footprint_bytes / 1024:6.1f} KB  "
+              f"d-set {stats.d_footprint_bytes / 1024:6.1f} KB  "
+              f"branches {stats.branches:>6,}"
+              f"{'  [speculation diverges]' if event.diverged else ''}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Event Sneak Peek (ISCA 2015) reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run one app through one preset")
+    p.add_argument("app")
+    p.add_argument("--config", default="esp_nl",
+                   help="preset name (default: esp_nl)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("names", nargs="*",
+                   help="figure ids (default: all), e.g. figure9 figure12")
+    p.add_argument("--json", action="store_true",
+                   help="emit JSON instead of text tables")
+    p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser("calibrate", help="workload calibration report")
+    p.add_argument("apps", nargs="*")
+    p.set_defaults(func=_cmd_calibrate)
+
+    p = sub.add_parser("apps", help="list benchmark applications")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.set_defaults(func=_cmd_apps)
+
+    p = sub.add_parser("presets", help="list machine configurations")
+    p.set_defaults(func=_cmd_presets)
+
+    p = sub.add_parser("report",
+                       help="assemble EXPERIMENTS.md from recorded figures")
+    p.add_argument("--output-dir", default=None)
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("inspect", help="per-event anatomy of a trace")
+    p.add_argument("app")
+    p.add_argument("--event", type=int, default=None)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_inspect)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Out-of-order core timing model (interval style).
+
+The simulator is trace driven, so the pipeline is modelled by cycle
+accounting rather than by structural simulation: a base cost per retired
+instruction plus the exposed portion of every miss/misprediction penalty.
+:class:`~repro.core.stalls.DataStallModel` implements the ROB-overlap and
+memory-level-parallelism rules that decide how much of each data-miss
+latency the core actually stalls for.
+"""
+
+from repro.core.stalls import DataStallModel
+
+__all__ = ["DataStallModel"]

@@ -1,0 +1,22 @@
+"""Energy and area models (Figures 8 and 14).
+
+The paper evaluates energy with McPAT 1.2 and sizes the added structures
+with CACTI 5.3; neither tool applies to a Python model, so
+:mod:`repro.energy.model` implements the same three first-order terms the
+paper's Figure 14 decomposes into — static energy (scales with runtime),
+wrong-path dynamic energy (scales with mispredictions), and the remaining
+dynamic energy (scales with executed instructions and cache traffic,
+including everything ESP pre-executes). :mod:`repro.energy.area` reproduces
+the Figure 8 hardware budget from the configured structure sizes.
+"""
+
+from repro.energy.area import esp_area_budget, format_area_table
+from repro.energy.model import ENERGY_PARAMS, EnergyParams, compute_energy
+
+__all__ = [
+    "ENERGY_PARAMS",
+    "EnergyParams",
+    "compute_energy",
+    "esp_area_budget",
+    "format_area_table",
+]

@@ -1,0 +1,82 @@
+"""ESP hardware budget (Figure 8).
+
+Recomputes the paper's per-mode storage table from an
+:class:`~repro.sim.config.EspConfig`, so any resizing experiment reports its
+own budget. The paper's design comes to 12.6 KB for ESP-1 and 1.2 KB for
+ESP-2 (13.8 KB total added state).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import EspConfig
+
+#: fixed-size per-mode structures (Figure 8), in bytes
+RRAT_BYTES = 28  # 32-entry retirement register alias table
+EVENT_QUEUE_ENTRY_BYTES = 8  # handler address + argument pointer + bits
+SPECIAL_REGISTER_BYTES = 12  # PC, SP, flags, ESP-mode
+
+
+@dataclass
+class ModeBudget:
+    """Per-ESP-mode storage, in bytes."""
+
+    mode: int
+    i_cachelet: int
+    d_cachelet: int
+    i_list: int
+    d_list: int
+    b_list_direction: int
+    b_list_target: int
+    rrat: int = RRAT_BYTES
+    event_queue: int = EVENT_QUEUE_ENTRY_BYTES
+    special_registers: int = SPECIAL_REGISTER_BYTES
+
+    @property
+    def total(self) -> int:
+        return (self.i_cachelet + self.d_cachelet + self.i_list + self.d_list
+                + self.b_list_direction + self.b_list_target + self.rrat
+                + self.event_queue + self.special_registers)
+
+
+def esp_area_budget(config: EspConfig | None = None) -> list[ModeBudget]:
+    """Per-mode storage budgets for the configured ESP hardware."""
+    config = config or EspConfig(enabled=True)
+    budgets = []
+    for mode in range(config.depth):
+        budgets.append(ModeBudget(
+            mode=mode + 1,
+            i_cachelet=config.i_cachelet_bytes[mode],
+            d_cachelet=config.d_cachelet_bytes[mode],
+            i_list=config.i_list_bytes[mode],
+            d_list=config.d_list_bytes[mode],
+            b_list_direction=config.b_list_dir_bytes[mode],
+            b_list_target=config.b_list_tgt_bytes[mode],
+        ))
+    return budgets
+
+
+def format_area_table(config: EspConfig | None = None) -> str:
+    """Render the Figure 8 table."""
+    budgets = esp_area_budget(config)
+    rows = [
+        ("L1-(I,D) Cachelet", lambda b: b.i_cachelet + b.d_cachelet),
+        ("I-List", lambda b: b.i_list),
+        ("D-List", lambda b: b.d_list),
+        ("B-List-Direction", lambda b: b.b_list_direction),
+        ("B-List-Target", lambda b: b.b_list_target),
+        ("RRAT", lambda b: b.rrat),
+        ("HW Event Queue", lambda b: b.event_queue),
+        ("Special Registers", lambda b: b.special_registers),
+    ]
+    header = f"{'HW structure':<22}" + "".join(
+        f"ESP-{b.mode:<8}" for b in budgets)
+    lines = [header, "-" * len(header)]
+    for label, getter in rows:
+        lines.append(f"{label:<22}" + "".join(
+            f"{getter(b):<12}" for b in budgets))
+    lines.append("-" * len(header))
+    lines.append(f"{'All HW additions':<22}" + "".join(
+        f"{b.total / 1024:<12.1f}" for b in budgets) + "(KB)")
+    return "\n".join(lines)

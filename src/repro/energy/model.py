@@ -1,0 +1,80 @@
+"""First-order energy model (Figure 14).
+
+Energies are in arbitrary consistent units (one unit = the dynamic energy of
+retiring one simple instruction through the 4-wide core). The constants are
+chosen so the *baseline* breakdown matches the rough proportions McPAT
+reports for a Cortex-A15-class mobile core at 32 nm, 1.2 V — static power
+around a third of total energy, wrong-path work a few percent — because
+Figure 14's conclusion (ESP costs ~8 % energy for ~21 % extra instructions)
+follows from exactly those proportions:
+
+* extra pre-executed instructions add dynamic energy roughly linearly;
+* the speedup removes static energy linearly with cycles;
+* fewer mispredictions remove wrong-path dynamic energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.results import EnergyBreakdown
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.config import SimConfig
+    from repro.sim.results import SimResult
+
+
+@dataclass(frozen=True)
+class EnergyParams:
+    """Per-event energies (arbitrary units) and static power."""
+
+    #: static power: units leaked per cycle
+    static_per_cycle: float = 0.55
+    #: dynamic energy to execute one instruction (core pipelines + L1 access
+    #: amortised)
+    per_instruction: float = 1.0
+    #: pre-executed instructions skip retirement/commit bookkeeping but pay
+    #: fetch/execute like normal ones
+    per_pre_instruction: float = 0.9
+    #: additional energy per L2 access (an L1 miss)
+    per_l2_access: float = 6.0
+    #: additional energy per DRAM access (an LLC miss)
+    per_dram_access: float = 45.0
+    #: wrong-path work squashed per misprediction: penalty-cycles worth of
+    #: issue-width instructions, derated by utilisation
+    wrongpath_per_mispredict: float = 18.0
+    #: per cachelet access (tiny 6 KB structures)
+    per_cachelet_access: float = 0.3
+    #: per list entry recorded or replayed
+    per_list_entry: float = 0.2
+
+
+ENERGY_PARAMS = EnergyParams()
+
+
+def compute_energy(result: "SimResult", config: "SimConfig",
+                   params: EnergyParams = ENERGY_PARAMS) -> EnergyBreakdown:
+    """Fill an :class:`EnergyBreakdown` from a run's counters."""
+    e = EnergyBreakdown()
+    e.static = params.static_per_cycle * result.cycles
+    e.dynamic_core = params.per_instruction * result.instructions
+    l2_accesses = (result.l1i_misses + result.l1d_misses
+                   + result.prefetches_issued_i + result.prefetches_issued_d)
+    dram_accesses = result.llc_i_misses + result.llc_d_misses
+    e.dynamic_caches = (params.per_l2_access * l2_accesses
+                        + params.per_dram_access * dram_accesses)
+    e.dynamic_wrongpath = (params.wrongpath_per_mispredict
+                           * result.branch_mispredicts)
+    esp = result.esp
+    e.dynamic_esp = (
+        params.per_pre_instruction * esp.total_pre_instructions
+        + params.per_cachelet_access * (esp.i_cachelet_accesses
+                                        + esp.d_cachelet_accesses)
+        + params.per_l2_access * (esp.i_cachelet_misses
+                                  + esp.d_cachelet_misses)
+        + params.per_list_entry * (esp.list_prefetches_i
+                                   + esp.list_prefetches_d
+                                   + esp.blist_trained)
+    )
+    return e

@@ -1,0 +1,30 @@
+"""Event Sneak Peek: the paper's primary contribution.
+
+The ESP architecture exposes the software event queue to the hardware
+(:mod:`~repro.esp.event_queue`), pre-executes queued events during LLC-miss
+stalls using per-mode cachelets and register contexts
+(:mod:`~repro.esp.controller`, :mod:`~repro.esp.contexts`), records what the
+pre-execution touched in compressed hardware lists (:mod:`~repro.esp.lists`),
+and replays those hints — timely prefetches and just-in-time branch-predictor
+training — when the event finally runs in the normal mode
+(:mod:`~repro.esp.replay`).
+"""
+
+from repro.esp.contexts import PreExecState, RecordedHints
+from repro.esp.controller import EspController
+from repro.esp.event_queue import HardwareEventQueue, QueueSlot
+from repro.esp.lists import BranchDirectionList, BranchTargetList, \
+    CompressedAddressList
+from repro.esp.replay import ReplayEngine
+
+__all__ = [
+    "BranchDirectionList",
+    "BranchTargetList",
+    "CompressedAddressList",
+    "EspController",
+    "HardwareEventQueue",
+    "PreExecState",
+    "QueueSlot",
+    "RecordedHints",
+    "ReplayEngine",
+]

@@ -1,0 +1,50 @@
+"""Instruction-set model shared by the workload generator and the simulator.
+
+The reproduction is trace driven: workloads are sequences of
+:class:`~repro.isa.instructions.Instruction` objects, grouped into events.
+This package defines the instruction record itself, the instruction-kind
+constants, and small helpers for reasoning about instruction streams
+(block addresses, footprint measurement, stream statistics).
+"""
+
+from repro.isa.instructions import (
+    BLOCK_BYTES,
+    BLOCK_SHIFT,
+    INSTR_BYTES,
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_CALL,
+    KIND_IBRANCH,
+    KIND_JUMP,
+    KIND_LOAD,
+    KIND_NAMES,
+    KIND_RETURN,
+    KIND_STORE,
+    Instruction,
+    block_of,
+    is_branch_kind,
+    is_memory_kind,
+)
+from repro.isa.stream import StreamStats, stream_footprint, summarize_stream
+
+__all__ = [
+    "BLOCK_BYTES",
+    "BLOCK_SHIFT",
+    "INSTR_BYTES",
+    "KIND_ALU",
+    "KIND_BRANCH",
+    "KIND_CALL",
+    "KIND_IBRANCH",
+    "KIND_JUMP",
+    "KIND_LOAD",
+    "KIND_NAMES",
+    "KIND_RETURN",
+    "KIND_STORE",
+    "Instruction",
+    "StreamStats",
+    "block_of",
+    "is_branch_kind",
+    "is_memory_kind",
+    "stream_footprint",
+    "summarize_stream",
+]

@@ -1,0 +1,111 @@
+"""Dynamic instruction records.
+
+The simulator is trace driven, so an "instruction" here is a *dynamic*
+instruction: one execution of a static instruction, carrying everything the
+timing model needs — its PC, its kind, the memory address it touches (for
+loads and stores), and its resolved control-flow outcome (for branches).
+
+Instruction kinds are small integers rather than an :class:`enum.Enum`
+because the simulator touches millions of these objects per run and integer
+comparisons in the hot loop are measurably cheaper.
+"""
+
+from __future__ import annotations
+
+# Fixed-width encoding assumed throughout: 4-byte instructions, 64-byte cache
+# blocks (Figure 7 of the paper), hence 16 instructions per I-cache block.
+INSTR_BYTES = 4
+BLOCK_BYTES = 64
+BLOCK_SHIFT = 6
+
+# Instruction kinds.
+KIND_ALU = 0
+KIND_LOAD = 1
+KIND_STORE = 2
+KIND_BRANCH = 3  # conditional direct branch
+KIND_JUMP = 4  # unconditional direct branch
+KIND_CALL = 5  # direct call
+KIND_RETURN = 6  # return (indirect, predicted by the RAS in hardware)
+KIND_IBRANCH = 7  # indirect branch / indirect call (predicted by the iBTB)
+
+KIND_NAMES = {
+    KIND_ALU: "alu",
+    KIND_LOAD: "load",
+    KIND_STORE: "store",
+    KIND_BRANCH: "branch",
+    KIND_JUMP: "jump",
+    KIND_CALL: "call",
+    KIND_RETURN: "return",
+    KIND_IBRANCH: "ibranch",
+}
+
+_BRANCH_KINDS = frozenset(
+    {KIND_BRANCH, KIND_JUMP, KIND_CALL, KIND_RETURN, KIND_IBRANCH}
+)
+_MEMORY_KINDS = frozenset({KIND_LOAD, KIND_STORE})
+
+
+def block_of(addr: int) -> int:
+    """Return the cache-block number containing byte address ``addr``."""
+    return addr >> BLOCK_SHIFT
+
+
+def is_branch_kind(kind: int) -> bool:
+    """True if ``kind`` redirects control flow."""
+    return kind in _BRANCH_KINDS
+
+
+def is_memory_kind(kind: int) -> bool:
+    """True if ``kind`` accesses data memory."""
+    return kind in _MEMORY_KINDS
+
+
+class Instruction:
+    """One dynamic instruction.
+
+    Attributes:
+        pc: byte address of the instruction.
+        kind: one of the ``KIND_*`` constants.
+        addr: effective data address for loads/stores, else 0.
+        taken: resolved direction for conditional branches; ``True`` for
+            taken unconditional control flow; ``False`` otherwise.
+        target: resolved next PC for taken control flow, else 0.
+    """
+
+    __slots__ = ("pc", "kind", "addr", "taken", "target")
+
+    def __init__(
+        self,
+        pc: int,
+        kind: int,
+        addr: int = 0,
+        taken: bool = False,
+        target: int = 0,
+    ) -> None:
+        self.pc = pc
+        self.kind = kind
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.kind in _MEMORY_KINDS:
+            extra = f" addr={self.addr:#x}"
+        elif self.kind in _BRANCH_KINDS:
+            extra = f" taken={self.taken} target={self.target:#x}"
+        return f"<Instruction pc={self.pc:#x} {KIND_NAMES[self.kind]}{extra}>"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.pc == other.pc
+            and self.kind == other.kind
+            and self.addr == other.addr
+            and self.taken == other.taken
+            and self.target == other.target
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.pc, self.kind, self.addr, self.taken, self.target))

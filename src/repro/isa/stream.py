@@ -1,0 +1,77 @@
+"""Helpers for reasoning about instruction streams.
+
+These are analysis utilities used by tests, the working-set study
+(Figure 13), and the workload calibration tools — not by the simulator's
+hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.isa.instructions import (
+    Instruction,
+    block_of,
+    is_branch_kind,
+    is_memory_kind,
+)
+
+
+@dataclass
+class StreamStats:
+    """Aggregate statistics of an instruction stream."""
+
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    conditional_branches: int = 0
+    taken_branches: int = 0
+    i_blocks: set = field(default_factory=set)
+    d_blocks: set = field(default_factory=set)
+
+    @property
+    def i_footprint_bytes(self) -> int:
+        """Instruction footprint in bytes (distinct 64 B blocks)."""
+        return len(self.i_blocks) * 64
+
+    @property
+    def d_footprint_bytes(self) -> int:
+        """Data footprint in bytes (distinct 64 B blocks)."""
+        return len(self.d_blocks) * 64
+
+
+def summarize_stream(stream: Iterable[Instruction]) -> StreamStats:
+    """Compute :class:`StreamStats` over ``stream`` in one pass."""
+    stats = StreamStats()
+    from repro.isa.instructions import KIND_BRANCH, KIND_LOAD, KIND_STORE
+
+    for inst in stream:
+        stats.instructions += 1
+        stats.i_blocks.add(block_of(inst.pc))
+        kind = inst.kind
+        if kind == KIND_LOAD:
+            stats.loads += 1
+            stats.d_blocks.add(block_of(inst.addr))
+        elif kind == KIND_STORE:
+            stats.stores += 1
+            stats.d_blocks.add(block_of(inst.addr))
+        elif is_branch_kind(kind):
+            stats.branches += 1
+            if kind == KIND_BRANCH:
+                stats.conditional_branches += 1
+            if inst.taken:
+                stats.taken_branches += 1
+    return stats
+
+
+def stream_footprint(stream: Iterable[Instruction]) -> tuple[int, int]:
+    """Return ``(i_blocks, d_blocks)`` — distinct block counts of a stream."""
+    i_blocks: set[int] = set()
+    d_blocks: set[int] = set()
+    for inst in stream:
+        i_blocks.add(block_of(inst.pc))
+        if is_memory_kind(inst.kind):
+            d_blocks.add(block_of(inst.addr))
+    return len(i_blocks), len(d_blocks)

@@ -1,0 +1,208 @@
+"""Binary event-trace serialisation.
+
+The paper's methodology records instruction traces once (SniperSim's
+trace-recording front end on Chromium) and replays them across machine
+configurations. This module gives the reproduction the same workflow:
+export a generated :class:`~repro.workloads.EventTrace`'s streams to a
+compact binary file, and replay them later — or on another machine —
+without regenerating. It also provides a stable interchange format for
+regression-testing the generator.
+
+Format (little-endian, magic ``ESPT``):
+
+* header: magic, version, app-name length + UTF-8 bytes, event count
+* per event: handler id (varint), diverged flag, true-stream length,
+  spec-stream length (0 ⇒ shares the true stream), then the streams
+* per instruction: one kind/flag byte, then varint-encoded PC delta
+  (zig-zag), and — where the kind needs them — address and target varints
+
+Varints keep typical instructions to 2-4 bytes (~8x smaller than pickled
+objects) and the format has no Python-specific dependencies.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.isa.instructions import Instruction, is_branch_kind, \
+    is_memory_kind
+
+MAGIC = b"ESPT"
+VERSION = 1
+
+_TAKEN_FLAG = 0x10
+
+
+def _write_varint(out: BinaryIO, value: int) -> None:
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_varint(data: BinaryIO) -> int:
+    shift = 0
+    value = 0
+    while True:
+        raw = data.read(1)
+        if not raw:
+            raise EOFError("truncated varint")
+        byte = raw[0]
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value
+        shift += 7
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else \
+        ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if not value & 1 else -((value + 1) >> 1)
+
+
+def _write_stream(out: BinaryIO, stream: list[Instruction]) -> None:
+    last_pc = 0
+    for inst in stream:
+        flags = inst.kind | (_TAKEN_FLAG if inst.taken else 0)
+        out.write(bytes((flags,)))
+        _write_varint(out, _zigzag(inst.pc - last_pc))
+        last_pc = inst.pc
+        if is_memory_kind(inst.kind):
+            _write_varint(out, inst.addr)
+        elif is_branch_kind(inst.kind):
+            # not-taken conditionals still carry their (fall-through)
+            # target in generated streams; preserve it exactly
+            _write_varint(out, inst.target)
+
+
+def _read_stream(data: BinaryIO, count: int) -> list[Instruction]:
+    stream: list[Instruction] = []
+    last_pc = 0
+    for _ in range(count):
+        raw = data.read(1)
+        if not raw:
+            raise EOFError("truncated stream")
+        flags = raw[0]
+        kind = flags & 0x0F
+        taken = bool(flags & _TAKEN_FLAG)
+        pc = last_pc + _unzigzag(_read_varint(data))
+        last_pc = pc
+        addr = 0
+        target = 0
+        if is_memory_kind(kind):
+            addr = _read_varint(data)
+        elif is_branch_kind(kind):
+            target = _read_varint(data)
+        stream.append(Instruction(pc, kind, addr=addr, taken=taken,
+                                  target=target))
+    return stream
+
+
+def dump_trace(trace, path: Path | str) -> int:
+    """Serialise every event of ``trace`` (an
+    :class:`~repro.workloads.EventTrace`) to ``path``. Returns bytes
+    written."""
+    buffer = io.BytesIO()
+    buffer.write(MAGIC)
+    _write_varint(buffer, VERSION)
+    name = trace.profile.name.encode()
+    _write_varint(buffer, len(name))
+    buffer.write(name)
+    _write_varint(buffer, len(trace))
+    for index in range(len(trace)):
+        event = trace.event(index)
+        _write_varint(buffer, event.handler_fid)
+        buffer.write(b"\x01" if event.diverged else b"\x00")
+        _write_varint(buffer, len(event.true_stream))
+        _write_varint(buffer, len(event.spec_stream)
+                      if event.diverged else 0)
+        _write_stream(buffer, event.true_stream)
+        if event.diverged:
+            _write_stream(buffer, event.spec_stream)
+    payload = buffer.getvalue()
+    Path(path).write_bytes(payload)
+    return len(payload)
+
+
+class LoadedTrace:
+    """A deserialised trace, API-compatible with the simulator's needs
+    (``event(k)``, ``looper_stream(k)``, ``__len__``) when paired with the
+    original profile for looper regeneration."""
+
+    def __init__(self, app_name: str, events: list,
+                 profile=None) -> None:
+        from repro.workloads import get_app
+        from repro.workloads.generator import EventTrace
+
+        self.app_name = app_name
+        self.events = events
+        # regenerate the (tiny, deterministic) looper streams and image
+        # from the profile; the heavy event streams come from the file
+        if profile is None:
+            profile = get_app(app_name)
+        self._shadow = EventTrace(profile, scale=0.001)
+        self.profile = self._shadow.profile
+        self.image = self._shadow.image
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def event(self, index: int):
+        return self.events[index]
+
+    def handler_fid(self, index: int) -> int:
+        return self.events[index].handler_fid
+
+    def looper_stream(self, index: int):
+        stream = list(self._shadow._build_looper_body())
+        from repro.isa.instructions import INSTR_BYTES, KIND_IBRANCH
+
+        handler = self.events[index].handler_fid
+        entry = self.image.function(handler).entry.addr
+        dispatch_pc = stream[-1].pc + INSTR_BYTES
+        stream.append(Instruction(dispatch_pc, KIND_IBRANCH, taken=True,
+                                  target=entry))
+        return stream
+
+
+def load_trace(path: Path | str, profile=None) -> LoadedTrace:
+    """Deserialise a trace written by :func:`dump_trace`.
+
+    ``profile`` supplies the :class:`~repro.workloads.AppProfile` when the
+    trace's app name is not one of the built-in registry entries.
+    """
+    from repro.workloads.generator import Event
+
+    data = io.BytesIO(Path(path).read_bytes())
+    if data.read(4) != MAGIC:
+        raise ValueError("not an ESP trace file")
+    version = _read_varint(data)
+    if version != VERSION:
+        raise ValueError(f"unsupported trace version {version}")
+    name = data.read(_read_varint(data)).decode()
+    n_events = _read_varint(data)
+    events = []
+    for index in range(n_events):
+        handler = _read_varint(data)
+        diverged = data.read(1) == b"\x01"
+        true_len = _read_varint(data)
+        spec_len = _read_varint(data)
+        true_stream = _read_stream(data, true_len)
+        if diverged:
+            spec_stream = _read_stream(data, spec_len)
+        else:
+            spec_stream = true_stream
+        events.append(Event(index, handler, (), true_stream, spec_stream,
+                            frozenset()))
+    return LoadedTrace(name, events, profile=profile)

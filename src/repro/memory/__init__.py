@@ -1,0 +1,20 @@
+"""Memory system: set-associative caches, the L1/L2/DRAM hierarchy with
+timeliness-aware prefetch tracking, and the ESP cachelets.
+
+Block addressing convention: every interface below takes *block numbers*
+(byte address ``>> 6``), not byte addresses — see :func:`repro.isa.block_of`.
+"""
+
+from repro.memory.cache import CacheStats, SetAssocCache
+from repro.memory.cachelet import Cachelet, CacheletPair
+from repro.memory.hierarchy import AccessResult, MemoryHierarchy, PrefetchStats
+
+__all__ = [
+    "AccessResult",
+    "CacheStats",
+    "Cachelet",
+    "CacheletPair",
+    "MemoryHierarchy",
+    "PrefetchStats",
+    "SetAssocCache",
+]

@@ -1,0 +1,34 @@
+"""Baseline and related-work hardware prefetchers.
+
+Baseline machine (Figure 7):
+
+* :class:`NextLineIPrefetcher` — classic next-line instruction prefetch
+  (Anderson et al.), issued on every demand I-block access.
+* :class:`DcuPrefetcher` — Intel DCU-style next-line data prefetch: arms only
+  after N consecutive accesses to the same line, then fetches the next line.
+* :class:`StridePrefetcher` — 256-entry PC-indexed stride table (Chen &
+  Baer style, per Intel's "smart memory access" description).
+
+Related-work comparison points (Section 7):
+
+* :class:`EfetchPrefetcher` — call-context instruction prefetch (EFetch,
+  PACT 2014), ~3x ESP's hardware.
+* :class:`PifPrefetcher` — temporal-stream instruction prefetch (PIF,
+  MICRO 2011), ~15x ESP's hardware.
+"""
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.dcu import DcuPrefetcher
+from repro.prefetch.efetch import EfetchPrefetcher
+from repro.prefetch.next_line import NextLineIPrefetcher
+from repro.prefetch.pif import PifPrefetcher
+from repro.prefetch.stride import StridePrefetcher
+
+__all__ = [
+    "DcuPrefetcher",
+    "EfetchPrefetcher",
+    "NextLineIPrefetcher",
+    "PifPrefetcher",
+    "Prefetcher",
+    "StridePrefetcher",
+]

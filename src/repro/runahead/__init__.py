@@ -1,0 +1,6 @@
+"""Runahead execution (Mutlu et al., HPCA 2003) — the paper's main
+hardware comparison point."""
+
+from repro.runahead.runahead import RunaheadController
+
+__all__ = ["RunaheadController"]

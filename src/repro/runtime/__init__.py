@@ -1,0 +1,33 @@
+"""Multi-queue asynchronous runtime (the paper's Section 4.5 extension).
+
+The main evaluation models a browser renderer: one looper thread draining
+one event queue, so the next two events are always known exactly. Section
+4.5 generalises ESP to runtimes with *multiple* event queues (priorities,
+timers, I/O), where the software runtime must **predict** which events will
+run next on each looper; when the prediction is wrong — e.g. a synchronous
+barrier holds back queued work, or a high-priority event arrives late — an
+"incorrect prediction" bit in the hardware event queue keeps the stale
+hints from being used.
+
+This package implements that extension:
+
+* :class:`~repro.runtime.queues.SoftwareEventQueue` — a priority-ordered
+  software queue with optional synchronous barriers;
+* :class:`~repro.runtime.arbiter.LooperArbiter` — dispatches events from
+  several queues to one looper and predicts its own next decisions;
+* :class:`~repro.runtime.schedule.ExecutionSchedule` — the resulting actual
+  run order plus per-dispatch predictions, consumed by the simulator.
+"""
+
+from repro.runtime.arbiter import ArbiterPolicy, LooperArbiter, QueuedEvent
+from repro.runtime.queues import SoftwareEventQueue
+from repro.runtime.schedule import ExecutionSchedule, identity_schedule
+
+__all__ = [
+    "ArbiterPolicy",
+    "ExecutionSchedule",
+    "LooperArbiter",
+    "QueuedEvent",
+    "SoftwareEventQueue",
+    "identity_schedule",
+]

@@ -1,0 +1,172 @@
+"""The looper arbiter: multi-queue dispatch with next-event prediction.
+
+When several software queues feed one looper thread, the runtime decides
+what runs next (highest-priority ready queue, FIFO within a queue) and —
+for ESP — additionally *predicts* the next two events so the hardware event
+queue can pre-execute them (Section 4.5).
+
+The prediction is made at dispatch time with the information available
+then. It goes wrong in exactly the ways the paper anticipates:
+
+* an event **arrives late** on a higher-priority queue and preempts the
+  predicted order;
+* a **synchronous barrier** becomes ready (or stops blocking) between
+  dispatches, changing which entry its queue offers next.
+
+:meth:`LooperArbiter.build_schedule` plays the whole multi-queue system
+forward and returns an :class:`~repro.runtime.schedule.ExecutionSchedule`
+capturing both the actual order and each dispatch's prediction, which the
+simulator then consumes — mispredicted slots get their hints suppressed via
+the incorrect-prediction bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.runtime.queues import QueueEntry, SoftwareEventQueue
+from repro.runtime.schedule import ExecutionSchedule
+
+
+class ArbiterPolicy(str, Enum):
+    """How the looper chooses among ready queues."""
+
+    PRIORITY = "priority"  # highest priority first, FIFO within
+    ROUND_ROBIN = "round_robin"  # rotate across ready queues
+
+
+@dataclass
+class QueuedEvent:
+    """An event assignment used when building multi-queue workloads."""
+
+    event_index: int
+    queue: str
+    arrival: float = 0.0
+    synchronous: bool = True
+    is_barrier: bool = False
+
+
+class LooperArbiter:
+    """Dispatches events from several software queues to one looper."""
+
+    def __init__(self, queues: list[SoftwareEventQueue],
+                 policy: ArbiterPolicy = ArbiterPolicy.PRIORITY,
+                 event_duration: float = 1.0) -> None:
+        if not queues:
+            raise ValueError("need at least one queue")
+        names = [q.name for q in queues]
+        if len(set(names)) != len(names):
+            raise ValueError("queue names must be unique")
+        self.queues = {q.name: q for q in queues}
+        self.policy = policy
+        self.event_duration = event_duration
+        self._rr_cursor = 0
+
+    # -- scheduling decisions ---------------------------------------------------
+
+    def _ready(self, now: float) -> list[tuple[SoftwareEventQueue,
+                                               QueueEntry]]:
+        ready = []
+        for queue in self.queues.values():
+            entry = queue.runnable(now)
+            if entry is not None:
+                ready.append((queue, entry))
+        return ready
+
+    def choose(self, now: float) -> tuple[SoftwareEventQueue,
+                                          QueueEntry] | None:
+        """The (queue, entry) the looper runs next at ``now``."""
+        ready = self._ready(now)
+        if not ready:
+            return None
+        if self.policy is ArbiterPolicy.PRIORITY:
+            return max(ready, key=lambda pair: (pair[0].priority,
+                                                -pair[1].arrival))
+        order = sorted(self.queues)  # stable round-robin order
+        ready_by_name = {queue.name: (queue, entry)
+                         for queue, entry in ready}
+        for offset in range(len(order)):
+            name = order[(self._rr_cursor + offset) % len(order)]
+            if name in ready_by_name:
+                self._rr_cursor = (order.index(name) + 1) % len(order)
+                return ready_by_name[name]
+        return None
+
+    def predict_next(self, now: float, depth: int = 2) -> list[int]:
+        """Predict the next ``depth`` events using only what is ready *now*
+        (the runtime cannot see future arrivals or barrier releases)."""
+        popped: list[tuple[SoftwareEventQueue, int, QueueEntry]] = []
+        predicted: list[int] = []
+        try:
+            for _ in range(depth):
+                choice = self.choose(now)
+                if choice is None:
+                    break
+                queue, entry = choice
+                index = queue.entries.index(entry)
+                queue.pop(entry)
+                popped.append((queue, index, entry))
+                predicted.append(entry.event_index)
+        finally:
+            for queue, index, entry in reversed(popped):
+                queue.entries.insert(index, entry)
+        return predicted
+
+    # -- full-system playback ----------------------------------------------------
+
+    def build_schedule(self) -> ExecutionSchedule:
+        """Run the multi-queue system to completion; return actual order
+        plus per-dispatch predictions."""
+        order: list[int] = []
+        predictions: list[list[int]] = []
+        now = 0.0
+        while any(len(q) for q in self.queues.values()):
+            choice = self.choose(now)
+            if choice is None:
+                # idle until the earliest pending arrival
+                pending = [entry.arrival
+                           for queue in self.queues.values()
+                           for entry in queue.entries]
+                now = min(arrival for arrival in pending if arrival > now)
+                continue
+            queue, entry = choice
+            queue.pop(entry)
+            order.append(entry.event_index)
+            now += self.event_duration
+            predictions.append(self.predict_next(now - self.event_duration,
+                                                 depth=2))
+        return ExecutionSchedule(order=order, predictions=predictions)
+
+
+def build_multiqueue_schedule(n_events: int, seed: int = 0,
+                              barrier_rate: float = 0.06,
+                              late_arrival_rate: float = 0.12,
+                              policy: ArbiterPolicy = ArbiterPolicy.PRIORITY
+                              ) -> ExecutionSchedule:
+    """A representative multi-queue workload over ``n_events`` events.
+
+    Events are spread over three queues (input > timer > network, by
+    priority). A fraction arrive late (after the session starts) and a
+    fraction of network entries are synchronous barriers that resolve
+    late — the two mechanisms that break order prediction.
+    """
+    rng = random.Random(("multiqueue", seed).__repr__())
+    input_q = SoftwareEventQueue("input", priority=2)
+    timer_q = SoftwareEventQueue("timer", priority=1)
+    network_q = SoftwareEventQueue("network", priority=0)
+    queues = [input_q, timer_q, network_q]
+    for index in range(n_events):
+        queue = rng.choices(queues, weights=(3, 2, 2))[0]
+        arrival = 0.0
+        if rng.random() < late_arrival_rate:
+            arrival = rng.uniform(0, n_events * 0.9)
+        is_barrier = (queue is network_q
+                      and rng.random() < barrier_rate)
+        if is_barrier:
+            arrival = rng.uniform(0, n_events * 0.9)
+        queue.post(index, arrival=arrival,
+                   synchronous=rng.random() < 0.7, is_barrier=is_barrier)
+    arbiter = LooperArbiter(queues, policy=policy)
+    return arbiter.build_schedule()

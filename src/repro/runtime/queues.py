@@ -1,0 +1,64 @@
+"""Software event queues for the multi-queue runtime extension.
+
+Each queue is FIFO within a priority class. A queue may contain
+*synchronous barriers* (Section 4.5's example): a barrier that is not yet
+ready blocks every later **synchronous** task in its queue, while later
+**asynchronous** tasks may be scheduled around it — exactly the situation
+where the runtime's event-order prediction goes wrong and the hardware
+event queue's incorrect-prediction bit earns its keep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class QueueEntry:
+    """One posted event."""
+
+    event_index: int
+    #: simulation timestamp at which the entry becomes runnable (for a
+    #: barrier: when its external condition resolves)
+    arrival: float = 0.0
+    #: synchronous tasks order strictly behind barriers in their queue
+    synchronous: bool = True
+    #: a barrier holds back later synchronous tasks until it has run
+    is_barrier: bool = False
+
+
+@dataclass
+class SoftwareEventQueue:
+    """A priority-ordered software event queue."""
+
+    name: str
+    priority: int = 0
+    entries: list[QueueEntry] = field(default_factory=list)
+
+    def post(self, event_index: int, arrival: float = 0.0,
+             synchronous: bool = True, is_barrier: bool = False) -> None:
+        self.entries.append(QueueEntry(event_index, arrival, synchronous,
+                                       is_barrier))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def runnable(self, now: float) -> QueueEntry | None:
+        """The entry this queue would run next at time ``now``.
+
+        FIFO over ready entries; an unready barrier blocks the synchronous
+        entries posted behind it while asynchronous entries may pass.
+        """
+        barrier_blocking = False
+        for entry in self.entries:
+            if entry.arrival > now:
+                if entry.is_barrier:
+                    barrier_blocking = True
+                continue
+            if barrier_blocking and entry.synchronous:
+                continue
+            return entry
+        return None
+
+    def pop(self, entry: QueueEntry) -> None:
+        self.entries.remove(entry)

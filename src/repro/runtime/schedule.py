@@ -1,0 +1,68 @@
+"""Execution schedules: actual event order plus the runtime's predictions.
+
+The simulator iterates a schedule position by position. At each position it
+needs two things: which event actually runs (``order[i]``), and which events
+the runtime *predicted* would run next when the previous event was
+dispatched (``predictions[i]``) — the contents of the hardware event queue
+during position ``i``'s execution. A prediction miss means the hints ESP
+recorded are for the wrong event; the hardware's incorrect-prediction bit
+(Section 4.5) suppresses them.
+
+The single-queue case of the main evaluation is the identity schedule:
+events run in index order and every prediction is trivially right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionSchedule:
+    """Actual run order plus per-position next-event predictions."""
+
+    #: event indices in the order they actually execute
+    order: list[int]
+    #: ``predictions[i]``: event indices the runtime predicted would follow
+    #: ``order[i]`` (up to the hardware queue depth), made at dispatch time
+    predictions: list[list[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.predictions:
+            self.predictions = [
+                self.order[i + 1:i + 3] for i in range(len(self.order))
+            ]
+        if len(self.predictions) != len(self.order):
+            raise ValueError("one prediction list per schedule position")
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def actual(self, position: int) -> int:
+        return self.order[position]
+
+    def predicted_next(self, position: int, depth: int) -> list[int]:
+        """What the runtime believed would run after position ``position``
+        (truncated/padded to at most ``depth`` entries)."""
+        return self.predictions[position][:depth]
+
+    @property
+    def misprediction_count(self) -> int:
+        """Positions whose immediate next-event prediction was wrong."""
+        misses = 0
+        for i in range(len(self.order) - 1):
+            predicted = self.predictions[i]
+            if not predicted or predicted[0] != self.order[i + 1]:
+                misses += 1
+        return misses
+
+    @property
+    def misprediction_rate(self) -> float:
+        if len(self.order) <= 1:
+            return 0.0
+        return self.misprediction_count / (len(self.order) - 1)
+
+
+def identity_schedule(n_events: int) -> ExecutionSchedule:
+    """The single-queue case: in-order execution, perfect prediction."""
+    return ExecutionSchedule(order=list(range(n_events)))

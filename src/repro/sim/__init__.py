@@ -1,0 +1,49 @@
+"""Simulation driver: configuration, statistics, top-level simulator.
+
+The public entry points are :class:`~repro.sim.config.SimConfig` (with the
+named presets in :mod:`repro.sim.presets`), :class:`~repro.sim.simulator.
+Simulator`, and the experiment harness in :mod:`repro.sim.experiments` that
+the figure benchmarks drive.
+
+``Simulator``/``simulate`` are re-exported lazily (PEP 562): the simulator
+module imports the memory/branch/esp subsystems, which themselves import
+:mod:`repro.sim.config`, so an eager import here would be circular.
+"""
+
+from repro.sim.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    EspBpMode,
+    EspConfig,
+    MemoryConfig,
+    PerfectConfig,
+    PrefetchConfig,
+    RunaheadConfig,
+    SimConfig,
+)
+from repro.sim.results import SimResult
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "EspBpMode",
+    "EspConfig",
+    "MemoryConfig",
+    "PerfectConfig",
+    "PrefetchConfig",
+    "RunaheadConfig",
+    "SimConfig",
+    "SimResult",
+    "Simulator",
+    "simulate",
+]
+
+
+def __getattr__(name):
+    if name in ("Simulator", "simulate"):
+        from repro.sim import simulator
+
+        return getattr(simulator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,133 @@
+"""Experiment harness: runs (app × configuration) grids with result caching.
+
+Every figure in the paper is a grid of simulation runs over the same seven
+applications. Several figures share underlying runs (e.g. the ``baseline``
+and ``esp_nl`` columns appear in Figures 9, 11 and 14), so the harness
+caches finished :class:`~repro.sim.results.SimResult` objects on disk keyed
+by ``(app, config digest, scale, seed)`` — regenerating one figure is cheap
+once its runs exist, and the full suite shares work.
+
+Scaling: the environment variable ``REPRO_SCALE`` (default 1.0) multiplies
+every app's event count; ``REPRO_SEED`` changes the workload seed. The cache
+key includes both.
+
+The per-figure experiment definitions live in :mod:`repro.sim.figures`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+from repro.sim.config import SimConfig
+from repro.sim.results import SimResult
+from repro.sim.simulator import Simulator
+from repro.workloads import APP_NAMES, EventTrace, get_app
+
+_CACHE_ENV = "REPRO_CACHE_DIR"
+_SCALE_ENV = "REPRO_SCALE"
+_SEED_ENV = "REPRO_SEED"
+
+
+def default_scale() -> float:
+    """Workload scale from ``REPRO_SCALE`` (default 1.0)."""
+    return float(os.environ.get(_SCALE_ENV, "1.0"))
+
+
+def default_seed() -> int:
+    """Workload seed from ``REPRO_SEED`` (default 0)."""
+    return int(os.environ.get(_SEED_ENV, "0"))
+
+
+def default_cache_dir() -> Path:
+    """Result-cache directory (``REPRO_CACHE_DIR`` or ``.repro_cache``)."""
+    return Path(os.environ.get(_CACHE_ENV,
+                               Path(__file__).resolve().parents[3]
+                               / ".repro_cache"))
+
+
+class ExperimentRunner:
+    """Runs and caches simulations for the figure harnesses."""
+
+    def __init__(self, cache_dir: Path | str | None = None,
+                 scale: float | None = None, seed: int | None = None,
+                 use_disk_cache: bool = True) -> None:
+        self.scale = default_scale() if scale is None else scale
+        self.seed = default_seed() if seed is None else seed
+        self.cache_dir = Path(cache_dir) if cache_dir is not None \
+            else default_cache_dir()
+        self.use_disk_cache = use_disk_cache
+        self._memory: dict[str, SimResult] = {}
+        self._traces: dict[str, EventTrace] = {}
+
+    # -- trace reuse -----------------------------------------------------------
+
+    def trace(self, app: str) -> EventTrace:
+        """The (cached) event trace for ``app`` at this runner's scale.
+
+        Traces hold only lightweight per-event metadata (streams materialise
+        lazily), so keeping one per app is cheap and saves rebuild time
+        across configurations.
+        """
+        if app not in self._traces:
+            self._traces[app] = EventTrace(get_app(app), scale=self.scale,
+                                           seed=self.seed)
+        return self._traces[app]
+
+    # -- runs -----------------------------------------------------------------
+
+    def _key(self, app: str, config: SimConfig) -> str:
+        return f"{app}-{config.cache_key()}-s{self.scale}-r{self.seed}"
+
+    def run(self, app: str, config: SimConfig, **run_kwargs) -> SimResult:
+        """Run (or fetch from cache) one simulation."""
+        key = self._key(app, config)
+        if run_kwargs:
+            # non-default run options (e.g. warmup sweeps) bypass the cache
+            return self._simulate(app, config, **run_kwargs)
+        cached = self._memory.get(key)
+        if cached is not None:
+            return cached
+        if self.use_disk_cache:
+            path = self.cache_dir / f"{key}.json"
+            if path.exists():
+                try:
+                    result = SimResult.from_dict(
+                        json.loads(path.read_text()))
+                    self._memory[key] = result
+                    return result
+                except (json.JSONDecodeError, TypeError, KeyError):
+                    path.unlink(missing_ok=True)
+        result = self._simulate(app, config)
+        self._memory[key] = result
+        if self.use_disk_cache:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            path = self.cache_dir / f"{key}.json"
+            path.write_text(json.dumps(result.to_dict()))
+        return result
+
+    def _simulate(self, app: str, config: SimConfig,
+                  **run_kwargs) -> SimResult:
+        sim = Simulator(self.trace(app), config)
+        result = sim.run(**run_kwargs)
+        # name the result after the preset for readable reports
+        result.config = config.name
+        return result
+
+    def grid(self, configs: Iterable[SimConfig],
+             apps: Iterable[str] = APP_NAMES
+             ) -> dict[str, dict[str, SimResult]]:
+        """Run a full (config × app) grid: ``{config.name: {app: result}}``."""
+        out: dict[str, dict[str, SimResult]] = {}
+        apps = list(apps)
+        for config in configs:
+            out[config.name] = {app: self.run(app, config) for app in apps}
+        return out
+
+    def clear_cache(self) -> None:
+        self._memory.clear()
+        if self.cache_dir.exists():
+            for path in self.cache_dir.glob("*.json"):
+                path.unlink()

@@ -1,0 +1,47 @@
+"""Synthetic asynchronous (event-driven) workloads.
+
+The paper drives its simulator with SniperSim instruction traces of
+Chromium's renderer process running seven real web applications, plus
+forked-off renderer processes that record each event's *speculative*
+pre-execution trace. Neither the sites' JavaScript nor the tracing
+infrastructure is available here, so this package generates synthetic
+workloads with the execution characteristics the paper measures:
+
+* a large static code image (handlers plus shared library code) whose
+  per-event working sets overwhelm a 32 KB L1-I;
+* many short events running *different* handlers back to back, destroying
+  instruction/data locality and branch-predictor context;
+* per-event cold heap data plus warmer stack/global/shared regions;
+* events that are almost always independent: each event yields both a true
+  stream and a speculative stream, and the two differ only when a branch
+  reads shared state written by one of the one-or-two events that were
+  skipped over during pre-execution (matching the paper's measured >99 %
+  speculation accuracy).
+
+Seven :class:`~repro.workloads.apps.AppProfile` instances named after the
+paper's benchmarks (Figure 6) parameterise the generator.
+"""
+
+from repro.workloads.apps import APP_NAMES, APPS, AppProfile, get_app
+from repro.workloads.codebase import (
+    BasicBlock,
+    CodeImage,
+    CodeImageParams,
+    Function,
+    build_code_image,
+)
+from repro.workloads.generator import Event, EventTrace
+
+__all__ = [
+    "APPS",
+    "APP_NAMES",
+    "AppProfile",
+    "BasicBlock",
+    "CodeImage",
+    "CodeImageParams",
+    "Event",
+    "EventTrace",
+    "Function",
+    "build_code_image",
+    "get_app",
+]

@@ -1,0 +1,180 @@
+"""Benchmark application profiles (the paper's Figure 6).
+
+Each :class:`AppProfile` parameterises the synthetic workload generator to
+stand in for one of the paper's seven browsing sessions. The paper's
+absolute trace sizes (hundreds of millions to billions of instructions) are
+scaled down by roughly three orders of magnitude so a pure-Python simulation
+stays tractable; every reported metric is a *rate* (MPKI, miss %, speedup),
+so the scaling preserves comparability. Relative proportions between apps —
+which sites run long events (gdocs, gmaps), which are tiny and data-streaming
+(pixlr), which execute the most events (cnn) — follow Figure 6.
+
+``paper_events`` / ``paper_minstr`` record the original Figure 6 numbers for
+the benchmark-table reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.codebase import CodeImageParams
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Generator parameters for one benchmark application."""
+
+    name: str
+    #: user actions performed in the paper's browsing session (Figure 6)
+    actions: str
+    #: events executed in the paper's session (Figure 6)
+    paper_events: int
+    #: instructions executed in the paper's session, millions (Figure 6)
+    paper_minstr: int
+    #: shape of the synthetic code image
+    code: CodeImageParams
+    #: events generated at scale=1.0
+    n_events: int
+    #: mean event length in instructions (log-normal across events)
+    event_len_mean: int
+    event_len_cv: float = 0.6
+    #: Zipf exponent for handler popularity (0 = uniform)
+    handler_zipf: float = 0.45
+    #: data-region mix: (stack, global, heap, shared, stream) weights
+    region_weights: tuple[float, float, float, float, float] = (
+        0.42, 0.22, 0.20, 0.10, 0.06)
+    #: fresh (cold) heap blocks allocated by each event
+    heap_blocks_per_event: int = 160
+    #: app-wide heap pool shared across events (mostly L2-resident)
+    heap_pool_blocks: int = 1536
+    #: fraction of heap accesses that go to the event's fresh allocations
+    heap_fresh_fraction: float = 0.10
+    global_blocks_per_handler: int = 192
+    #: hot prefix of the handler's global region
+    global_hot_blocks: int = 20
+    shared_blocks: int = 48
+    #: probability a data access revisits a recently touched address
+    revisit_prob: float = 0.70
+    #: streaming-region size in blocks (per-event wrap window)
+    stream_blocks: int = 4096
+    #: probability an event writes 1-3 shared-state variables
+    state_write_rate: float = 0.35
+    looper_len: int = 70
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        total = sum(self.region_weights)
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(
+                f"region weights of {self.name} sum to {total}, expected 1")
+
+
+def _code(handlers: int, funcs_per_handler: int, libs: int,
+          **overrides) -> CodeImageParams:
+    return CodeImageParams(n_handlers=handlers,
+                           funcs_per_handler=funcs_per_handler,
+                           n_library_funcs=libs, **overrides)
+
+
+# ---------------------------------------------------------------------------
+# The seven benchmarks of Figure 6. Event counts / lengths are ~1/1000 of the
+# paper's totals; per-app character (event length, data mix, code size)
+# follows the site descriptions.
+
+AMAZON = AppProfile(
+    name="amazon",
+    actions="Search for a pair of headphones, click on one result, "
+            "go to a related item",
+    paper_events=7787, paper_minstr=434,
+    code=_code(16, 30, 560),
+    n_events=16, event_len_mean=30000,
+    region_weights=(0.48, 0.24, 0.16, 0.10, 0.02),
+    heap_blocks_per_event=36,
+    seed=11,
+)
+
+BING = AppProfile(
+    name="bing",
+    actions='Search for the term "Roger Federer", go to new results',
+    paper_events=4858, paper_minstr=259,
+    code=_code(12, 28, 480),
+    n_events=14, event_len_mean=26000,
+    region_weights=(0.50, 0.24, 0.14, 0.10, 0.02),
+    heap_blocks_per_event=32,
+    seed=23,
+)
+
+CNN = AppProfile(
+    name="cnn",
+    actions="Click on the headline, go to world news",
+    paper_events=13409, paper_minstr=1230,
+    code=_code(20, 32, 680),
+    n_events=20, event_len_mean=30000,
+    region_weights=(0.46, 0.24, 0.18, 0.10, 0.02),
+    heap_blocks_per_event=40,
+    seed=37,
+)
+
+FACEBOOK = AppProfile(
+    name="facebook",
+    actions="Visit own homepage, go to communities, go to pictures",
+    paper_events=9305, paper_minstr=2165,
+    code=_code(26, 38, 860),
+    n_events=16, event_len_mean=42000,
+    region_weights=(0.47, 0.22, 0.18, 0.10, 0.03),
+    heap_blocks_per_event=52,
+    seed=41,
+)
+
+GMAPS = AppProfile(
+    name="gmaps",
+    actions="Search for two addresses, get driving, public transit "
+            "directions, biking directions",
+    paper_events=7298, paper_minstr=2722,
+    code=_code(24, 40, 920),
+    n_events=14, event_len_mean=55000,
+    event_len_cv=0.7,
+    region_weights=(0.46, 0.22, 0.18, 0.10, 0.04),
+    heap_blocks_per_event=64,
+    seed=53,
+)
+
+GDOCS = AppProfile(
+    name="gdocs",
+    actions="Open a spreadsheet, insert data, add 5 values",
+    paper_events=1714, paper_minstr=809,
+    code=_code(16, 36, 740),
+    n_events=12, event_len_mean=48000,
+    event_len_cv=0.7,
+    region_weights=(0.49, 0.24, 0.14, 0.10, 0.03),
+    heap_blocks_per_event=56,
+    seed=67,
+)
+
+PIXLR = AppProfile(
+    name="pixlr",
+    actions="Add various filters to an image uploaded from the computer",
+    paper_events=465, paper_minstr=26,
+    code=_code(8, 22, 320),
+    n_events=12, event_len_mean=9000,
+    region_weights=(0.36, 0.18, 0.14, 0.06, 0.26),
+    heap_blocks_per_event=24,
+    stream_blocks=8192,
+    seed=79,
+)
+
+APPS: dict[str, AppProfile] = {
+    app.name: app
+    for app in (AMAZON, BING, CNN, FACEBOOK, GMAPS, GDOCS, PIXLR)
+}
+
+APP_NAMES: tuple[str, ...] = tuple(APPS)
+
+
+def get_app(name: str) -> AppProfile:
+    """Look up a benchmark profile by name."""
+    try:
+        return APPS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown app {name!r}; choose from {', '.join(APPS)}") from None

@@ -1,0 +1,282 @@
+"""Synthetic static code image.
+
+A :class:`CodeImage` is a set of functions laid out in a flat address space:
+event *handlers* (each owning a private subtree of helper functions) plus a
+pool of *library* functions shared by all handlers (standing in for the
+JavaScript engine runtime, DOM glue, allocator, etc.). Each function is a
+small control-flow graph of basic blocks; blocks are contiguous in memory so
+next-line prefetching sees realistic sequential runs, while calls and taken
+branches scatter fetch across the image.
+
+Branch behaviour is assigned *per site* at build time:
+
+* most conditional sites are heavily biased (typical of real code and easy
+  for the predictor),
+* a configurable fraction are weakly biased (the hard branches that produce
+  the paper's ~10 % baseline misprediction rate),
+* loop back-edges may have a *fixed* trip count (learnable by the loop
+  predictor) or a per-execution random one,
+* a small fraction of sites branch on *shared mutable state*; these are the
+  sites where speculative pre-execution can diverge from the eventual normal
+  execution (Section 5 of the paper measures >99 % agreement).
+
+Everything is deterministic given the parameter set and seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import (
+    INSTR_BYTES,
+    KIND_ALU,
+    KIND_LOAD,
+    KIND_STORE,
+)
+
+#: base byte address of the code segment
+CODE_BASE = 0x0040_0000
+#: gap between consecutive functions (keeps them in distinct blocks)
+FUNCTION_ALIGN = 256
+
+# Terminator kinds for basic blocks.
+TERM_COND = 0  # conditional branch: taken -> target, fall through otherwise
+TERM_JUMP = 1  # unconditional branch to target
+TERM_CALL = 2  # direct call to a function, then fall through
+TERM_ICALL = 3  # indirect call through a table of candidate functions
+TERM_RET = 4  # return from function
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line run of instructions plus one terminator.
+
+    ``body_kinds`` holds the kind of each non-terminator instruction
+    (ALU/load/store), fixed at build time like real static code.
+    """
+
+    addr: int
+    body_kinds: tuple[int, ...]
+    term_kind: int
+    #: TERM_COND / TERM_JUMP: index of the target block within the function
+    target: int = -1
+    #: TERM_COND: index of the fall-through block
+    fall_through: int = -1
+    #: TERM_CALL: callee function id; TERM_ICALL: unused (see candidates)
+    callee: int = -1
+    #: TERM_ICALL: candidate callee function ids
+    candidates: tuple[int, ...] = ()
+    #: TERM_COND: probability the branch is taken (per-site bias)
+    bias: float = 0.5
+    #: TERM_COND: shared-state variable id this branch reads, or -1
+    state_var: int = -1
+    #: TERM_COND back-edges: fixed trip count (>0) or -1 for random trips
+    loop_trip: int = -1
+    #: True if the block's memory instructions stream sequentially
+    streaming: bool = False
+
+    @property
+    def size(self) -> int:
+        """Instruction count including the terminator."""
+        return len(self.body_kinds) + 1
+
+    @property
+    def term_pc(self) -> int:
+        return self.addr + len(self.body_kinds) * INSTR_BYTES
+
+    @property
+    def end_addr(self) -> int:
+        return self.addr + self.size * INSTR_BYTES
+
+
+@dataclass
+class Function:
+    """A function: an entry block and a contiguous run of basic blocks."""
+
+    fid: int
+    base_addr: int
+    blocks: list[BasicBlock]
+    is_library: bool = False
+
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    @property
+    def code_bytes(self) -> int:
+        return sum(b.size for b in self.blocks) * INSTR_BYTES
+
+
+@dataclass(frozen=True)
+class CodeImageParams:
+    """Shape of the synthetic code image."""
+
+    n_handlers: int = 12
+    #: private helper functions per handler subtree
+    funcs_per_handler: int = 10
+    n_library_funcs: int = 60
+    blocks_per_func_mean: int = 12
+    block_len_mean: int = 8
+    #: fraction of body instructions that are loads / stores
+    load_ratio: float = 0.26
+    store_ratio: float = 0.11
+    #: probability a conditional site is weakly biased (hard to predict)
+    hard_branch_fraction: float = 0.05
+    #: probability a conditional site reads shared state
+    state_branch_fraction: float = 0.03
+    #: number of shared-state variables
+    n_state_vars: int = 32
+    #: probability a loop back-edge has a fixed (learnable) trip count
+    fixed_loop_fraction: float = 0.65
+    loop_trip_mean: int = 4
+    #: probability a call site is indirect (through a v-table / callback)
+    indirect_call_fraction: float = 0.12
+    #: probability a block inside a loop streams through memory
+    streaming_block_fraction: float = 0.02
+
+
+@dataclass
+class CodeImage:
+    """The full static image."""
+
+    params: CodeImageParams
+    functions: list[Function] = field(default_factory=list)
+    #: per-handler: entry function id and the handler's private helper ids
+    handler_entries: list[int] = field(default_factory=list)
+    #: handler entry fid -> that handler's private helper function ids
+    handler_helpers: dict[int, list[int]] = field(default_factory=dict)
+    #: ids of shared library functions
+    library_ids: list[int] = field(default_factory=list)
+    #: id of the looper-thread queue-management function
+    looper_fid: int = -1
+
+    @property
+    def code_bytes(self) -> int:
+        return sum(f.code_bytes for f in self.functions)
+
+    def function(self, fid: int) -> Function:
+        return self.functions[fid]
+
+
+def _build_function(fid: int, base_addr: int, rng: random.Random,
+                    params: CodeImageParams, callable_ids: list[int],
+                    is_library: bool) -> Function:
+    """Build one function's CFG with a mostly-sequential block layout."""
+    n_blocks = max(2, round(rng.expovariate(1.0 / params.blocks_per_func_mean))
+                   + 1)
+    blocks: list[BasicBlock] = []
+    addr = base_addr
+    for i in range(n_blocks):
+        body_len = max(1, round(rng.gauss(params.block_len_mean,
+                                          params.block_len_mean / 3)))
+        kinds = []
+        for _ in range(body_len):
+            draw = rng.random()
+            if draw < params.load_ratio:
+                kinds.append(KIND_LOAD)
+            elif draw < params.load_ratio + params.store_ratio:
+                kinds.append(KIND_STORE)
+            else:
+                kinds.append(KIND_ALU)
+        block = BasicBlock(addr=addr, body_kinds=tuple(kinds),
+                           term_kind=TERM_RET)
+        blocks.append(block)
+        addr = block.end_addr
+
+    last = n_blocks - 1
+    for i, block in enumerate(blocks):
+        if i == last:
+            block.term_kind = TERM_RET
+            continue
+        draw = rng.random()
+        if draw < 0.12 and i >= 1:
+            # loop back-edge: conditionally branch back to an earlier block
+            block.term_kind = TERM_COND
+            block.target = rng.randrange(max(0, i - 2), i)
+            block.fall_through = i + 1
+            if rng.random() < params.fixed_loop_fraction:
+                block.loop_trip = max(1, round(rng.expovariate(
+                    1.0 / params.loop_trip_mean)))
+            block.bias = 0.8  # taken-per-iteration probability (random trips)
+            if rng.random() < params.streaming_block_fraction * 10:
+                # streaming loops stream through their data
+                for b in blocks[block.target:i + 1]:
+                    b.streaming = rng.random() < 0.5
+        elif draw < 0.45:
+            # forward conditional
+            block.term_kind = TERM_COND
+            block.fall_through = i + 1
+            block.target = rng.randrange(i + 1, n_blocks)
+            if rng.random() < params.state_branch_fraction:
+                block.state_var = rng.randrange(params.n_state_vars)
+                block.bias = 0.5
+            elif rng.random() < params.hard_branch_fraction:
+                block.bias = rng.uniform(0.25, 0.75)
+            else:
+                block.bias = rng.choice((0.01, 0.03, 0.97, 0.99))
+        elif draw < 0.62 and callable_ids:
+            # call site
+            if rng.random() < params.indirect_call_fraction and \
+                    len(callable_ids) >= 3:
+                block.term_kind = TERM_ICALL
+                block.candidates = tuple(
+                    rng.sample(callable_ids, k=min(4, len(callable_ids))))
+            else:
+                block.term_kind = TERM_CALL
+                block.callee = rng.choice(callable_ids)
+            block.fall_through = i + 1
+        elif draw < 0.68:
+            # forward jump
+            block.term_kind = TERM_JUMP
+            block.target = rng.randrange(i + 1, n_blocks)
+        else:
+            # plain fall-through
+            block.term_kind = TERM_JUMP
+            block.target = i + 1
+    return Function(fid=fid, base_addr=base_addr, blocks=blocks,
+                    is_library=is_library)
+
+
+def build_code_image(params: CodeImageParams, seed: int = 0) -> CodeImage:
+    """Deterministically build a :class:`CodeImage` from ``params``."""
+    rng = random.Random(("code-image", seed).__repr__())
+    image = CodeImage(params=params)
+    next_addr = CODE_BASE
+    next_fid = 0
+
+    def place(callable_ids: list[int], is_library: bool) -> Function:
+        nonlocal next_addr, next_fid
+        func = _build_function(next_fid, next_addr, rng, params,
+                               callable_ids, is_library)
+        image.functions.append(func)
+        next_fid += 1
+        next_addr = func.base_addr + func.code_bytes
+        next_addr += (-next_addr) % FUNCTION_ALIGN
+        return func
+
+    # library functions first: leaves (no further calls), then composites
+    n_leaf = max(1, params.n_library_funcs // 2)
+    for _ in range(n_leaf):
+        func = place([], is_library=True)
+        image.library_ids.append(func.fid)
+    for _ in range(params.n_library_funcs - n_leaf):
+        func = place(image.library_ids, is_library=True)
+        image.library_ids.append(func.fid)
+
+    # handler subtrees: private helpers may call libraries; the handler
+    # entry may call its helpers and libraries
+    for _ in range(params.n_handlers):
+        helper_ids: list[int] = []
+        for _ in range(params.funcs_per_handler):
+            callees = image.library_ids + helper_ids
+            func = place(callees, is_library=False)
+            helper_ids.append(func.fid)
+        entry = place(helper_ids + image.library_ids, is_library=False)
+        image.handler_entries.append(entry.fid)
+        image.handler_helpers[entry.fid] = helper_ids
+
+    # the looper thread's small queue-management function
+    looper = place([], is_library=True)
+    image.looper_fid = looper.fid
+    return image

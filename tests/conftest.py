@@ -1,0 +1,61 @@
+"""Shared fixtures: small, fast workloads for unit/integration tests.
+
+The real app profiles simulate hundreds of thousands of instructions; tests
+use ``tiny_app`` (a few thousand instructions) so the whole suite stays
+fast while exercising every code path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import SimConfig
+from repro.workloads.apps import AppProfile
+from repro.workloads.codebase import CodeImageParams
+from repro.workloads.generator import EventTrace
+
+TINY_CODE = CodeImageParams(
+    n_handlers=4,
+    funcs_per_handler=5,
+    n_library_funcs=24,
+    blocks_per_func_mean=6,
+    block_len_mean=7,
+)
+
+TINY_APP = AppProfile(
+    name="tinyapp",
+    actions="synthetic unit-test workload",
+    paper_events=100,
+    paper_minstr=1,
+    code=TINY_CODE,
+    n_events=14,
+    event_len_mean=900,
+    heap_blocks_per_event=16,
+    heap_pool_blocks=128,
+    global_blocks_per_handler=48,
+    global_hot_blocks=12,
+    shared_blocks=16,
+    stream_blocks=256,
+    seed=5,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_app() -> AppProfile:
+    return TINY_APP
+
+
+@pytest.fixture(scope="session")
+def tiny_trace() -> EventTrace:
+    return EventTrace(TINY_APP, scale=1.0, seed=0)
+
+
+@pytest.fixture
+def fresh_tiny_trace() -> EventTrace:
+    """A non-shared trace for tests that mutate cached events."""
+    return EventTrace(TINY_APP, scale=1.0, seed=0)
+
+
+@pytest.fixture
+def default_config() -> SimConfig:
+    return SimConfig()

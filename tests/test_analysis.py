@@ -1,0 +1,78 @@
+"""Tests for result formatting and calibration tooling."""
+
+import pytest
+
+from repro.analysis import format_figure_table, format_series, hmean
+from repro.analysis.calibration import CalibrationReport
+
+
+class TestHmean:
+    def test_basic(self):
+        assert hmean([1.0, 1.0]) == 1.0
+        assert hmean([2.0, 2.0]) == 2.0
+
+    def test_known_value(self):
+        assert hmean([1.0, 2.0]) == pytest.approx(4 / 3)
+
+    def test_empty(self):
+        assert hmean([]) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            hmean([1.0, 0.0])
+
+    def test_hmean_below_arithmetic_mean(self):
+        values = [1.0, 3.0, 9.0]
+        assert hmean(values) < sum(values) / 3
+
+
+class TestFormatting:
+    SERIES = {
+        "NL": {"amazon": 10.0, "bing": 20.0},
+        "ESP": {"amazon": 30.0, "bing": 40.0},
+    }
+
+    def test_table_contains_everything(self):
+        text = format_figure_table("Fig X", self.SERIES)
+        assert "Fig X" in text
+        assert "amazon" in text and "bing" in text
+        assert "NL" in text and "ESP" in text
+        assert "HMEAN" in text
+
+    def test_table_hmean_of_improvements(self):
+        text = format_figure_table("t", {"NL": {"a": 100.0, "b": 100.0}})
+        # hmean of speedups 2.0 and 2.0 -> +100%
+        assert "100.00" in text
+
+    def test_table_mean_summary(self):
+        text = format_figure_table("t", self.SERIES, summary="mean")
+        assert "MEAN" in text
+        assert "15.00" in text  # mean of 10 and 20
+
+    def test_table_no_summary(self):
+        text = format_figure_table("t", self.SERIES, summary=None)
+        assert "HMEAN" not in text
+
+    def test_empty_series(self):
+        assert format_figure_table("only title", {}) == "only title"
+
+    def test_format_series(self):
+        line = format_series("NL", {"amazon": 10.0})
+        assert line.startswith("NL")
+        assert "10.00" in line
+
+
+class TestCalibrationReport:
+    def test_format(self):
+        report = CalibrationReport(
+            app="x", instructions=1000, events=10, ipc=0.5, l1i_mpki=20.0,
+            l1d_miss_pct=5.0, branch_mispredict_pct=10.0,
+            llc_i_per_kinstr=3.0, llc_d_per_kinstr=4.0,
+            stall_ifetch_share=0.5, stall_data_share=0.4,
+            stall_branch_share=0.1, potential_l1d_pct=20.0,
+            potential_branch_pct=10.0, potential_l1i_pct=40.0,
+            potential_all_pct=100.0)
+        text = report.format()
+        assert "x" in text
+        assert "I-MPKI" in text
+        assert "potential" in text

@@ -1,0 +1,75 @@
+"""Tests for the opt-in DRAM bandwidth model."""
+
+import dataclasses
+
+import pytest
+
+from repro.memory import MemoryHierarchy
+from repro.sim import presets
+from repro.sim.config import MemoryConfig
+from repro.sim.simulator import Simulator
+
+
+def bw_config(transfer: int = 8) -> MemoryConfig:
+    return MemoryConfig(dram_line_transfer_cycles=transfer)
+
+
+class TestBandwidthModel:
+    def test_disabled_by_default(self):
+        hier = MemoryHierarchy()
+        a = hier.access_d(100, 0)
+        b = hier.access_d(200, 0)
+        assert a.latency == b.latency == hier.mem_latency
+        assert hier.bandwidth_stall_cycles == 0
+
+    def test_back_to_back_misses_queue(self):
+        hier = MemoryHierarchy(bw_config(8))
+        a = hier.access_d(100, 0)
+        b = hier.access_d(200, 0)  # bus still busy with the first line
+        c = hier.access_d(300, 0)
+        assert a.latency == hier.mem_latency
+        assert b.latency == hier.mem_latency + 8
+        assert c.latency == hier.mem_latency + 16
+        assert hier.bandwidth_stall_cycles == 24
+
+    def test_spaced_misses_unaffected(self):
+        hier = MemoryHierarchy(bw_config(8))
+        a = hier.access_d(100, 0)
+        b = hier.access_d(200, 1000)
+        assert a.latency == b.latency == hier.mem_latency
+
+    def test_l2_hits_do_not_touch_the_bus(self):
+        hier = MemoryHierarchy(bw_config(8))
+        hier.access_d(100, 0)
+        hier.l1d.invalidate(100)
+        res = hier.access_d(100, 0)  # L2 hit
+        assert res.latency == hier.l2_latency
+        assert hier.bandwidth_stall_cycles == 0
+
+    def test_prefetches_consume_bandwidth(self):
+        hier = MemoryHierarchy(bw_config(8))
+        hier.prefetch("d", 100, 0)
+        res = hier.access_d(200, 0)  # demand queues behind the prefetch
+        assert res.latency == hier.mem_latency + 8
+
+
+class TestBandwidthSimulation:
+    def test_bandwidth_slows_prefetch_heavy_configs(self, tiny_app):
+        cfg = presets.esp_nl()
+        unmetered = Simulator(tiny_app, cfg).run()
+        metered_cfg = cfg.replace(memory=bw_config(8))
+        metered = Simulator(tiny_app, metered_cfg).run()
+        assert metered.cycles >= unmetered.cycles
+
+    def test_esp_still_wins_with_bandwidth(self, tiny_app):
+        memory = bw_config(8)
+        base = Simulator(tiny_app,
+                         presets.baseline().replace(memory=memory)).run()
+        esp = Simulator(tiny_app,
+                        presets.esp_nl().replace(memory=memory)).run()
+        assert esp.cycles < base.cycles
+
+    def test_configs_hash_differently(self):
+        a = presets.esp_nl()
+        b = a.replace(memory=bw_config(8))
+        assert a.cache_key() != b.cache_key()

@@ -1,0 +1,141 @@
+"""Unit tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.memory import SetAssocCache
+
+
+class TestGeometry:
+    def test_basic_geometry(self):
+        cache = SetAssocCache(32 * 1024, 2)
+        assert cache.num_sets == 256
+        assert cache.assoc == 2
+        assert cache.capacity_blocks == 512
+
+    def test_fully_associative_when_tiny(self):
+        # 512 B nominally 12-way: 8 lines total -> one 8-way set
+        cache = SetAssocCache(512, 12)
+        assert cache.num_sets == 1
+        assert cache.assoc == 8
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssocCache(0, 2)
+        with pytest.raises(ValueError):
+            SetAssocCache(1024, -1)
+
+    def test_repr(self):
+        assert "lines" in repr(SetAssocCache(1024, 2, name="x"))
+
+
+class TestAccessSemantics:
+    def test_miss_then_hit(self):
+        cache = SetAssocCache(1024, 2)
+        assert cache.access(5) is False
+        assert cache.access(5) is True
+
+    def test_lookup_does_not_fill(self):
+        cache = SetAssocCache(1024, 2)
+        assert cache.lookup(5) is False
+        assert cache.lookup(5) is False  # still absent
+        assert not cache.contains(5)
+
+    def test_contains_no_stats_no_lru_update(self):
+        cache = SetAssocCache(256, 2)  # 4 lines, 2 sets
+        cache.fill(0)
+        cache.fill(2)  # same set (blocks 0 and 2 map to set 0)
+        before = cache.stats.accesses
+        assert cache.contains(0)
+        assert cache.stats.accesses == before
+        # contains() must not refresh block 0's recency: filling two more
+        # same-set blocks must evict 0 first
+        cache.fill(4)
+        assert not cache.contains(0)
+
+    def test_lru_eviction_order(self):
+        cache = SetAssocCache(128, 2)  # 2 lines, 1 set
+        cache.fill(1)
+        cache.fill(2)
+        cache.access(1)  # refresh 1
+        cache.fill(3)  # evicts 2, the least recently used
+        assert cache.contains(1)
+        assert not cache.contains(2)
+        assert cache.contains(3)
+
+    def test_fill_returns_victim(self):
+        cache = SetAssocCache(128, 2)
+        assert cache.fill(1) is None
+        assert cache.fill(2) is None
+        assert cache.fill(3) == 1
+
+    def test_fill_existing_refreshes(self):
+        cache = SetAssocCache(128, 2)
+        cache.fill(1)
+        cache.fill(2)
+        assert cache.fill(1) is None  # refresh, no eviction
+        cache.fill(3)
+        assert cache.contains(1)
+        assert not cache.contains(2)
+
+    def test_set_isolation(self):
+        cache = SetAssocCache(256, 2)  # 2 sets
+        cache.fill(0)
+        cache.fill(2)
+        cache.fill(4)  # set 0 now evicts 0
+        assert cache.contains(1) is False
+        cache.fill(1)  # set 1 untouched by set-0 traffic
+        assert cache.contains(1)
+        assert cache.contains(2)
+
+
+class TestMaintenance:
+    def test_invalidate(self):
+        cache = SetAssocCache(1024, 2)
+        cache.fill(7)
+        assert cache.invalidate(7) is True
+        assert not cache.contains(7)
+        assert cache.invalidate(7) is False
+
+    def test_clear_preserves_stats(self):
+        cache = SetAssocCache(1024, 2)
+        cache.access(1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.accesses == 1
+
+    def test_resident_blocks(self):
+        cache = SetAssocCache(1024, 2)
+        for block in (1, 5, 9):
+            cache.fill(block)
+        assert sorted(cache.resident_blocks()) == [1, 5, 9]
+        assert len(cache) == 3
+
+
+class TestStats:
+    def test_counters(self):
+        cache = SetAssocCache(1024, 2)
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_miss_rate_empty(self):
+        assert SetAssocCache(1024, 2).stats.miss_rate == 0.0
+
+    def test_mpki(self):
+        cache = SetAssocCache(128, 2)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.mpki(1000) == pytest.approx(2.0)
+        assert cache.stats.mpki(0) == 0.0
+
+    def test_eviction_counter(self):
+        cache = SetAssocCache(128, 2)
+        cache.fill(1)
+        cache.fill(2)
+        cache.fill(3)
+        assert cache.stats.evictions == 1
+        assert cache.stats.fills == 3

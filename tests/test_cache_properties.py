@@ -1,0 +1,85 @@
+"""Property-based tests for the cache against a reference LRU model."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import SetAssocCache
+
+
+class ReferenceLru:
+    """Oracle: per-set OrderedDict LRU, implemented independently."""
+
+    def __init__(self, num_sets: int, assoc: int) -> None:
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.sets = [OrderedDict() for _ in range(num_sets)]
+
+    def access(self, block: int) -> bool:
+        s = self.sets[block % self.num_sets]
+        if block in s:
+            s.move_to_end(block)
+            return True
+        if len(s) >= self.assoc:
+            s.popitem(last=False)
+        s[block] = None
+        return False
+
+
+blocks = st.integers(min_value=0, max_value=63)
+
+
+@given(st.lists(blocks, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_matches_reference_lru(accesses):
+    cache = SetAssocCache(4 * 64, 2)  # 2 sets x 2 ways
+    ref = ReferenceLru(cache.num_sets, cache.assoc)
+    for block in accesses:
+        assert cache.access(block) == ref.access(block)
+
+
+@given(st.lists(blocks, max_size=300),
+       st.sampled_from([(64, 1), (2 * 64, 2), (8 * 64, 4), (16 * 64, 2)]))
+@settings(max_examples=40, deadline=None)
+def test_capacity_never_exceeded(accesses, geometry):
+    size, assoc = geometry
+    cache = SetAssocCache(size, assoc)
+    for block in accesses:
+        cache.access(block)
+        assert len(cache) <= cache.capacity_blocks
+        for cache_set in cache._sets:
+            assert len(cache_set) <= cache.assoc
+
+
+@given(st.lists(blocks, min_size=1, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_most_recent_block_always_resident(accesses):
+    cache = SetAssocCache(4 * 64, 2)
+    for block in accesses:
+        cache.access(block)
+        assert cache.contains(block)
+
+
+@given(st.lists(blocks, max_size=200))
+@settings(max_examples=40, deadline=None)
+def test_stats_consistency(accesses):
+    cache = SetAssocCache(8 * 64, 2)
+    for block in accesses:
+        cache.access(block)
+    assert cache.stats.accesses == len(accesses)
+    assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+    assert cache.stats.fills == cache.stats.misses
+    assert cache.stats.fills - cache.stats.evictions == len(cache)
+
+
+@given(st.lists(blocks, max_size=150), st.lists(blocks, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_invalidate_removes_exactly_one(accesses, invalidations):
+    cache = SetAssocCache(8 * 64, 2)
+    for block in accesses:
+        cache.access(block)
+    for block in invalidations:
+        was_resident = cache.contains(block)
+        assert cache.invalidate(block) == was_resident
+        assert not cache.contains(block)

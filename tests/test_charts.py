@@ -1,0 +1,66 @@
+"""Tests for the terminal bar-chart helpers."""
+
+from repro.analysis.charts import bar_chart, grouped_chart, hbar
+
+
+class TestHbar:
+    def test_full_bar(self):
+        assert hbar(10, 10, width=4) == "████"
+
+    def test_half_bar(self):
+        assert hbar(5, 10, width=4) == "██"
+
+    def test_zero(self):
+        assert hbar(0, 10) == ""
+        assert hbar(5, 0) == ""
+
+    def test_partial_cell(self):
+        bar = hbar(1, 16, width=4)  # 0.25 cells
+        assert len(bar) == 1
+        assert bar != "█"
+
+    def test_clamps_overflow(self):
+        assert hbar(20, 10, width=4) == "████"
+
+
+class TestBarChart:
+    def test_renders_all_labels(self):
+        chart = bar_chart({"NL": 10.0, "ESP": 30.0}, title="fig")
+        assert "fig" in chart
+        assert "NL" in chart and "ESP" in chart
+        assert "30.00" in chart
+
+    def test_scaling_relative_to_peak(self):
+        chart = bar_chart({"a": 10.0, "b": 20.0}, width=10)
+        line_a, line_b = chart.splitlines()
+        assert line_b.count("█") == 10
+        assert line_a.count("█") == 5
+
+    def test_negative_values_marked(self):
+        chart = bar_chart({"bad": -5.0, "good": 5.0})
+        bad_line = chart.splitlines()[0]
+        assert "-" in bad_line
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_unit_suffix(self):
+        assert "%" in bar_chart({"a": 1.0}, unit="%")
+
+
+class TestGroupedChart:
+    def test_groups_share_scale(self):
+        chart = grouped_chart({"g1": {"a": 10.0}, "g2": {"b": 20.0}},
+                              width=10)
+        lines = chart.splitlines()
+        a_line = next(line for line in lines if " a " in line)
+        b_line = next(line for line in lines if " b " in line)
+        assert b_line.count("█") == 10
+        assert a_line.count("█") == 5
+
+    def test_group_headers(self):
+        chart = grouped_chart({"g1": {"a": 1.0}})
+        assert "g1:" in chart
+
+    def test_empty(self):
+        assert grouped_chart({}, title="t") == "t"

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate", "pixlr"])
+        assert args.app == "pixlr"
+        assert args.config == "esp_nl"
+        assert args.scale == 1.0
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "pixlr", "--config", "nl",
+                     "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "app=pixlr config=NL" in out
+        assert "IPC" in out
+
+    def test_simulate_esp_shows_preexecution(self, capsys):
+        assert main(["simulate", "pixlr", "--config", "esp_nl",
+                     "--scale", "0.6"]) == 0
+        out = capsys.readouterr().out
+        assert "pre-executed" in out
+
+    def test_simulate_unknown_preset(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "pixlr", "--config", "bogus"])
+
+    def test_apps(self, capsys):
+        assert main(["apps", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        for app in ("amazon", "pixlr", "gmaps"):
+            assert app in out
+
+    def test_presets(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        assert "esp_nl" in out
+        assert "runahead" in out
+
+    def test_inspect_single_event(self, capsys):
+        assert main(["inspect", "pixlr", "--event", "1",
+                     "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "event   1" in out
+        assert out.count("event ") == 1
+
+    def test_inspect_all_events(self, capsys):
+        assert main(["inspect", "pixlr", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("event ") >= 3
+
+    def test_figures_static(self, capsys):
+        assert main(["figures", "figure7", "figure8"]) == 0
+        out = capsys.readouterr().out
+        assert "Pentium M" in out
+        assert "12.6" in out

@@ -1,0 +1,130 @@
+"""Unit tests for the synthetic code-image builder."""
+
+import pytest
+
+from repro.workloads.codebase import (
+    CODE_BASE,
+    TERM_CALL,
+    TERM_COND,
+    TERM_ICALL,
+    TERM_JUMP,
+    TERM_RET,
+    CodeImageParams,
+    build_code_image,
+)
+
+PARAMS = CodeImageParams(n_handlers=4, funcs_per_handler=4,
+                         n_library_funcs=12)
+
+
+@pytest.fixture(scope="module")
+def image():
+    return build_code_image(PARAMS, seed=3)
+
+
+class TestLayout:
+    def test_function_count(self, image):
+        expected = 12 + 4 * (4 + 1) + 1  # libs + handler subtrees + looper
+        assert len(image.functions) == expected
+
+    def test_functions_do_not_overlap(self, image):
+        spans = sorted((f.base_addr, f.base_addr + f.code_bytes)
+                       for f in image.functions)
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_blocks_contiguous_within_function(self, image):
+        for func in image.functions:
+            addr = func.base_addr
+            for block in func.blocks:
+                assert block.addr == addr
+                addr = block.end_addr
+
+    def test_code_starts_at_base(self, image):
+        assert min(f.base_addr for f in image.functions) == CODE_BASE
+
+    def test_code_bytes_positive(self, image):
+        assert image.code_bytes > 0
+        assert image.code_bytes == sum(f.code_bytes
+                                       for f in image.functions)
+
+
+class TestStructure:
+    def test_handler_entries_exist(self, image):
+        assert len(image.handler_entries) == 4
+        for fid in image.handler_entries:
+            assert not image.function(fid).is_library
+
+    def test_handler_helpers_recorded(self, image):
+        for entry_fid in image.handler_entries:
+            helpers = image.handler_helpers[entry_fid]
+            assert len(helpers) == 4
+
+    def test_library_functions_flagged(self, image):
+        assert len(image.library_ids) == 12
+        for fid in image.library_ids:
+            assert image.function(fid).is_library
+
+    def test_looper_exists(self, image):
+        assert image.looper_fid >= 0
+        assert image.function(image.looper_fid).is_library
+
+
+class TestTerminators:
+    def test_last_block_returns(self, image):
+        for func in image.functions:
+            assert func.blocks[-1].term_kind == TERM_RET
+
+    def test_cond_targets_valid(self, image):
+        for func in image.functions:
+            n = len(func.blocks)
+            for i, block in enumerate(func.blocks):
+                if block.term_kind == TERM_COND:
+                    assert 0 <= block.target < n
+                    assert block.fall_through == i + 1
+                    assert 0.0 < block.bias < 1.0
+
+    def test_jump_targets_valid(self, image):
+        for func in image.functions:
+            n = len(func.blocks)
+            for block in func.blocks:
+                if block.term_kind == TERM_JUMP:
+                    assert 0 <= block.target < n
+
+    def test_call_sites_reference_real_functions(self, image):
+        n_funcs = len(image.functions)
+        for func in image.functions:
+            for block in func.blocks:
+                if block.term_kind == TERM_CALL:
+                    assert 0 <= block.callee < n_funcs
+                if block.term_kind == TERM_ICALL:
+                    assert block.candidates
+                    for fid in block.candidates:
+                        assert 0 <= fid < n_funcs
+
+    def test_state_branches_reference_valid_vars(self, image):
+        for func in image.functions:
+            for block in func.blocks:
+                if block.state_var >= 0:
+                    assert block.term_kind == TERM_COND
+                    assert block.state_var < PARAMS.n_state_vars
+
+
+class TestDeterminism:
+    def test_same_seed_same_image(self):
+        a = build_code_image(PARAMS, seed=7)
+        b = build_code_image(PARAMS, seed=7)
+        assert len(a.functions) == len(b.functions)
+        for fa, fb in zip(a.functions, b.functions):
+            assert fa.base_addr == fb.base_addr
+            assert [blk.addr for blk in fa.blocks] == \
+                [blk.addr for blk in fb.blocks]
+            assert [blk.term_kind for blk in fa.blocks] == \
+                [blk.term_kind for blk in fb.blocks]
+
+    def test_different_seed_different_image(self):
+        a = build_code_image(PARAMS, seed=7)
+        b = build_code_image(PARAMS, seed=8)
+        layouts_a = [f.code_bytes for f in a.functions]
+        layouts_b = [f.code_bytes for f in b.functions]
+        assert layouts_a != layouts_b

@@ -1,0 +1,93 @@
+"""Unit tests for the energy and area models."""
+
+import dataclasses
+
+import pytest
+
+from repro.energy import (
+    ENERGY_PARAMS,
+    EnergyParams,
+    compute_energy,
+    esp_area_budget,
+    format_area_table,
+)
+from repro.sim.config import EspConfig, SimConfig
+from repro.sim.results import EspStats, SimResult
+
+
+def result_with(**overrides) -> SimResult:
+    r = SimResult(instructions=100_000, cycles=150_000.0,
+                  l1i_misses=1000, l1d_misses=2000,
+                  llc_i_misses=100, llc_d_misses=300,
+                  branch_mispredicts=500)
+    for key, value in overrides.items():
+        setattr(r, key, value)
+    return r
+
+
+class TestEnergyModel:
+    def test_breakdown_fields_positive(self):
+        e = compute_energy(result_with(), SimConfig())
+        assert e.static > 0
+        assert e.dynamic_core > 0
+        assert e.dynamic_caches > 0
+        assert e.dynamic_wrongpath > 0
+        assert e.dynamic_esp == 0
+        assert e.total == pytest.approx(
+            e.static + e.dynamic_core + e.dynamic_caches
+            + e.dynamic_wrongpath)
+
+    def test_static_scales_with_cycles(self):
+        slow = compute_energy(result_with(cycles=300_000.0), SimConfig())
+        fast = compute_energy(result_with(cycles=150_000.0), SimConfig())
+        assert slow.static == pytest.approx(2 * fast.static)
+
+    def test_esp_term_scales_with_preexecution(self):
+        esp_stats = EspStats(pre_instructions=[10_000, 2_000],
+                             i_cachelet_accesses=500, i_cachelet_misses=50,
+                             d_cachelet_accesses=400, d_cachelet_misses=40,
+                             list_prefetches_i=100, list_prefetches_d=80,
+                             blist_trained=60)
+        e = compute_energy(result_with(esp=esp_stats), SimConfig())
+        assert e.dynamic_esp > 0
+
+    def test_custom_params(self):
+        params = EnergyParams(static_per_cycle=0.0)
+        e = compute_energy(result_with(), SimConfig(), params)
+        assert e.static == 0
+
+    def test_default_params_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            ENERGY_PARAMS.static_per_cycle = 1.0
+
+    def test_wrongpath_scales_with_mispredicts(self):
+        low = compute_energy(result_with(branch_mispredicts=100),
+                             SimConfig())
+        high = compute_energy(result_with(branch_mispredicts=1000),
+                              SimConfig())
+        assert high.dynamic_wrongpath == \
+            pytest.approx(10 * low.dynamic_wrongpath)
+
+
+class TestAreaBudget:
+    def test_paper_totals(self):
+        budgets = esp_area_budget()
+        assert len(budgets) == 2
+        assert budgets[0].total == pytest.approx(12.6 * 1024, rel=0.01)
+        assert budgets[1].total == pytest.approx(1.25 * 1024, rel=0.05)
+
+    def test_custom_config(self):
+        config = EspConfig(enabled=True, depth=1,
+                           i_cachelet_bytes=(1024,),
+                           d_cachelet_bytes=(1024,),
+                           i_list_bytes=(100,), d_list_bytes=(100,),
+                           b_list_dir_bytes=(100,), b_list_tgt_bytes=(10,))
+        budgets = esp_area_budget(config)
+        assert len(budgets) == 1
+        assert budgets[0].i_cachelet == 1024
+
+    def test_format_table(self):
+        text = format_area_table()
+        assert "I-List" in text
+        assert "12.6" in text
+        assert "ESP-1" in text and "ESP-2" in text

@@ -1,0 +1,75 @@
+"""Sensitivity tests for the energy model."""
+
+import dataclasses
+
+import pytest
+
+from repro.energy import EnergyParams, compute_energy
+from repro.sim.config import SimConfig
+from repro.sim.results import EspStats, SimResult
+
+
+def base_result(**overrides) -> SimResult:
+    result = SimResult(instructions=50_000, cycles=80_000.0,
+                       l1i_misses=600, l1d_misses=900, llc_i_misses=80,
+                       llc_d_misses=150, branch_mispredicts=400)
+    for key, value in overrides.items():
+        setattr(result, key, value)
+    return result
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("field,scale", [
+        ("instructions", 2), ("cycles", 2), ("branch_mispredicts", 3),
+        ("llc_d_misses", 4), ("l1i_misses", 4),
+    ])
+    def test_more_activity_more_energy(self, field, scale):
+        low = compute_energy(base_result(), SimConfig())
+        bumped = base_result()
+        setattr(bumped, field, int(getattr(bumped, field) * scale))
+        high = compute_energy(bumped, SimConfig())
+        assert high.total > low.total
+
+    def test_preexecution_adds_energy(self):
+        quiet = compute_energy(base_result(), SimConfig())
+        busy = base_result(esp=EspStats(pre_instructions=[20_000, 3_000]))
+        loud = compute_energy(busy, SimConfig())
+        assert loud.total > quiet.total
+        assert loud.dynamic_esp > 0
+
+
+class TestEspTradeoffShape:
+    def test_speedup_can_pay_for_preexecution(self):
+        """The Figure 14 mechanism: enough cycle savings make ESP's energy
+        overhead small or negative despite extra instructions."""
+        baseline = compute_energy(base_result(), SimConfig())
+        esp_result = base_result(
+            cycles=60_000.0,  # 25% faster
+            branch_mispredicts=250,
+            esp=EspStats(pre_instructions=[9_000, 1_000]))
+        esp_energy = compute_energy(esp_result, SimConfig())
+        overhead = esp_energy.total / baseline.total - 1.0
+        assert overhead < 0.10  # far below the 20% instruction overhead
+
+    def test_static_share_significant(self):
+        """Static energy must be a meaningful share — it is what the
+        speedup reclaims (Figure 14's bar decomposition)."""
+        energy = compute_energy(base_result(), SimConfig())
+        assert 0.15 < energy.static / energy.total < 0.6
+
+
+class TestCustomParams:
+    def test_param_scaling_linear(self):
+        params = EnergyParams()
+        doubled = dataclasses.replace(
+            params, per_instruction=2 * params.per_instruction)
+        low = compute_energy(base_result(), SimConfig(), params)
+        high = compute_energy(base_result(), SimConfig(), doubled)
+        assert high.dynamic_core == pytest.approx(2 * low.dynamic_core)
+
+    def test_zeroed_params_zero_terms(self):
+        params = EnergyParams(per_instruction=0.0, static_per_cycle=0.0,
+                              per_l2_access=0.0, per_dram_access=0.0,
+                              wrongpath_per_mispredict=0.0)
+        energy = compute_energy(base_result(), SimConfig(), params)
+        assert energy.total == 0.0

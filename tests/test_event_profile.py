@@ -1,0 +1,54 @@
+"""Tests for per-event profiling instrumentation."""
+
+import pytest
+
+from repro.sim import presets
+from repro.sim.results import EventProfile
+from repro.sim.simulator import Simulator
+
+
+class TestEventProfile:
+    @pytest.fixture(scope="class")
+    def profiled(self, tiny_app):
+        sim = Simulator(tiny_app, presets.esp_nl())
+        sim.collect_event_profile = True
+        result = sim.run()
+        return sim, result
+
+    def test_disabled_by_default(self, tiny_app):
+        sim = Simulator(tiny_app, presets.nl())
+        sim.run()
+        assert sim.event_profiles == []
+
+    def test_one_profile_per_measured_event(self, profiled):
+        sim, result = profiled
+        assert len(sim.event_profiles) == result.events
+
+    def test_profiles_sum_to_totals(self, profiled):
+        sim, result = profiled
+        assert sum(p.instructions for p in sim.event_profiles) == \
+            result.instructions
+        assert sum(p.cycles for p in sim.event_profiles) == \
+            pytest.approx(result.cycles)
+        assert sum(p.stall_data for p in sim.event_profiles) == \
+            pytest.approx(result.stall_data)
+
+    def test_event_indices_monotonic(self, profiled):
+        sim, _ = profiled
+        indices = [p.event_index for p in sim.event_profiles]
+        assert indices == sorted(indices)
+
+    def test_hinted_flag_tracks_esp(self, profiled):
+        sim, result = profiled
+        hinted = sum(p.hinted for p in sim.event_profiles)
+        assert hinted == result.esp.hinted_events
+
+    def test_ipc_property(self):
+        profile = EventProfile(instructions=100, cycles=200.0)
+        assert profile.ipc == 0.5
+        assert EventProfile().ipc == 0.0
+
+    def test_profiles_cover_stall_components(self, profiled):
+        sim, _ = profiled
+        assert any(p.stall_ifetch > 0 for p in sim.event_profiles)
+        assert any(p.stall_data > 0 for p in sim.event_profiles)

@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed as a subprocess on a tiny workload so the examples
+cannot silently rot as the library evolves. ``reproduce_figures.py`` is
+exercised through its underlying harness in ``test_figures.py`` instead
+(running all figures here would take minutes).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+CASES = [
+    ("quickstart.py", ["pixlr", "0.4"], "ESP improves"),
+    ("webapp_session.py", ["pixlr", "0.4"], "Speculative pre-executions"),
+    ("compare_prefetchers.py", ["pixlr", "0.4"], "ESP internals"),
+    ("design_space.py", ["pixlr", "0.35"], "jump-ahead depth"),
+    ("event_timeline.py", ["pixlr", "0.5"], "cycles saved"),
+    ("multiqueue_runtime.py", ["pixlr", "0.5"], "order misprediction"),
+    ("trace_workflow.py", ["pixlr", "0.4"], "identical to live trace"),
+]
+
+
+@pytest.mark.parametrize("script,args,expected",
+                         CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, expected):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stderr
+    assert expected in proc.stdout
+
+
+def test_examples_directory_complete():
+    scripts = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    covered = {case[0] for case in CASES} | {"reproduce_figures.py"}
+    assert scripts == covered
+
+
+@pytest.mark.parametrize("script,args,expected",
+                         [("quickstart.py", ["nonsense-app"], "unknown app")])
+def test_example_rejects_bad_app(script, args, expected):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True, text=True, timeout=60)
+    assert proc.returncode != 0
+    assert expected in proc.stderr

@@ -1,0 +1,88 @@
+"""Tests for the experiment runner and its result cache."""
+
+import pytest
+
+from repro.sim import presets
+from repro.sim.experiments import ExperimentRunner
+from repro.sim.config import SimConfig
+
+
+@pytest.fixture
+def runner(tmp_path):
+    return ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+
+
+class TestRunner:
+    def test_run_produces_result(self, runner):
+        r = runner.run("pixlr", SimConfig())
+        assert r.app == "pixlr"
+        assert r.instructions > 0
+
+    def test_memory_cache(self, runner):
+        a = runner.run("pixlr", SimConfig())
+        b = runner.run("pixlr", SimConfig())
+        assert a is b
+
+    def test_disk_cache(self, tmp_path):
+        r1 = ExperimentRunner(cache_dir=tmp_path, scale=0.25)
+        a = r1.run("pixlr", SimConfig())
+        r2 = ExperimentRunner(cache_dir=tmp_path, scale=0.25)
+        b = r2.run("pixlr", SimConfig())
+        assert a is not b
+        assert a.cycles == b.cycles
+        assert list(tmp_path.glob("*.json"))
+
+    def test_cache_keyed_by_config(self, runner):
+        a = runner.run("pixlr", SimConfig())
+        b = runner.run("pixlr", presets.nl())
+        assert a.cycles != b.cycles
+
+    def test_cache_keyed_by_scale(self, tmp_path):
+        a = ExperimentRunner(cache_dir=tmp_path, scale=0.25).run(
+            "pixlr", SimConfig())
+        b = ExperimentRunner(cache_dir=tmp_path, scale=0.4).run(
+            "pixlr", SimConfig())
+        assert a.instructions != b.instructions
+
+    def test_corrupt_cache_entry_recovers(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25)
+        runner.run("pixlr", SimConfig())
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{not json")
+        fresh = ExperimentRunner(cache_dir=tmp_path, scale=0.25)
+        r = fresh.run("pixlr", SimConfig())
+        assert r.instructions > 0
+
+    def test_run_kwargs_bypass_cache(self, runner):
+        a = runner.run("pixlr", SimConfig())
+        b = runner.run("pixlr", SimConfig(), warmup_fraction=0.12)
+        assert b is not a  # not served from the cache
+        assert b.cycles == a.cycles  # but the same deterministic run
+
+    def test_clear_cache(self, runner, tmp_path):
+        runner.run("pixlr", SimConfig())
+        runner.clear_cache()
+        assert not list(tmp_path.glob("*.json"))
+        assert not runner._memory
+
+    def test_grid(self, runner):
+        grid = runner.grid([SimConfig(name="baseline"), presets.nl()],
+                           apps=["pixlr"])
+        assert set(grid) == {"baseline", "NL"}
+        assert "pixlr" in grid["NL"]
+
+    def test_trace_shared(self, runner):
+        assert runner.trace("pixlr") is runner.trace("pixlr")
+
+    def test_env_defaults(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_SEED", "3")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        runner = ExperimentRunner()
+        assert runner.scale == 0.5
+        assert runner.seed == 3
+        assert runner.cache_dir == tmp_path
+
+    def test_result_config_named_after_preset(self, runner):
+        r = runner.run("pixlr", presets.nl())
+        assert r.config == "NL"

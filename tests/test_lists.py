@@ -1,0 +1,183 @@
+"""Unit tests for the ESP compressed hint lists."""
+
+import pytest
+
+from repro.esp import (
+    BranchDirectionList,
+    BranchTargetList,
+    CompressedAddressList,
+)
+from repro.isa import KIND_BRANCH, KIND_IBRANCH
+
+
+class TestAddressListEncoding:
+    def test_first_entry_costs_full_address(self):
+        lst = CompressedAddressList(100)
+        lst.record(1000, 1)
+        assert lst.bits_used == 3 * 19
+
+    def test_small_delta_costs_one_entry(self):
+        lst = CompressedAddressList(100)
+        lst.record(1000, 1)
+        lst.record(1050, 10)
+        assert lst.bits_used == 3 * 19 + 19
+
+    def test_large_delta_costs_three_entries(self):
+        lst = CompressedAddressList(100)
+        lst.record(1000, 1)
+        lst.record(50_000, 10)
+        assert lst.bits_used == 3 * 19 + 3 * 19
+
+    def test_large_icount_delta_costs_three_entries(self):
+        lst = CompressedAddressList(100)
+        lst.record(1000, 1)
+        lst.record(1001, 1 + 500)  # icount gap beyond 7 bits
+        assert lst.bits_used == 2 * 3 * 19
+
+    def test_run_extension_is_free(self):
+        lst = CompressedAddressList(100)
+        lst.record(1000, 1)
+        bits = lst.bits_used
+        lst.record(1001, 2)
+        lst.record(1002, 3)
+        assert lst.bits_used == bits
+        assert len(lst) == 1
+        assert lst.entries[0].run == 2
+
+    def test_run_bounded_by_three_bits(self):
+        lst = CompressedAddressList(1000)
+        for i in range(12):
+            lst.record(1000 + i, i + 1)
+        assert len(lst) == 2
+        assert lst.entries[0].run == CompressedAddressList.MAX_RUN
+
+    def test_duplicate_block_free(self):
+        lst = CompressedAddressList(100)
+        lst.record(1000, 1)
+        bits = lst.bits_used
+        assert lst.record(1000, 5) is True
+        assert lst.bits_used == bits
+
+    def test_block_within_run_free(self):
+        lst = CompressedAddressList(100)
+        lst.record(1000, 1)
+        lst.record(1001, 2)
+        bits = lst.bits_used
+        assert lst.record(1000, 9) is True
+        assert lst.bits_used == bits
+
+
+class TestAddressListCapacity:
+    def test_overflow_stops_recording(self):
+        lst = CompressedAddressList(10)  # 80 bits: full addr + ~1 more
+        assert lst.record(1000, 1) is True
+        assert lst.record(1050, 2) is True  # 57+19=76 bits
+        assert lst.record(80_000, 3) is False  # needs 57 more
+        assert lst.overflowed
+        assert lst.record(80_001, 4) is False  # stays stopped
+
+    def test_unbounded(self):
+        lst = CompressedAddressList(0)
+        for i in range(1000):
+            assert lst.record(i * 300, i) is True
+        assert not lst.overflowed
+
+    def test_bytes_used(self):
+        lst = CompressedAddressList(100)
+        lst.record(1000, 1)
+        assert lst.bytes_used == pytest.approx(3 * 19 / 8)
+
+
+class TestAddressListExpandAndPromotion:
+    def test_expand_order_and_runs(self):
+        lst = CompressedAddressList(1000)
+        lst.record(10, 1)
+        lst.record(11, 2)
+        lst.record(500, 3)
+        flat = lst.expand()
+        assert flat == [(10, 1), (11, 1), (500, 3)]
+
+    def test_absorb_into_keeps_entries_and_resets_overflow(self):
+        small = CompressedAddressList(10)
+        small.record(1000, 1)
+        small.record(2000, 2)
+        small.record(80_000, 3)  # overflows
+        assert small.overflowed
+        big = small.absorb_into(500)
+        assert not big.overflowed
+        assert big.expand() == small.expand()
+        assert big.record(80_000, 3) is True
+
+
+class TestBranchDirectionList:
+    def test_records_and_decodes(self):
+        lst = BranchDirectionList(100)
+        lst.record(0x1000, True, False, 0x2000, KIND_BRANCH, 5)
+        entry = lst.entries[0]
+        assert entry.pc == 0x1000
+        assert entry.taken is True
+        assert entry.indirect is False
+        assert entry.icount == 5
+
+    def test_icount_header_every_thirty(self):
+        lst = BranchDirectionList(10_000)
+        pc = 0x1000
+        for i in range(31):
+            lst.record(pc + 4 * i, True, False, 0, KIND_BRANCH, i)
+        # entries 0 and 30 carry the 2-entry header; entry 0 also pays the
+        # full-address escape
+        expected = (3 * 6 + 2 * 6) + 29 * 6 + (6 + 2 * 6)
+        assert lst.bits_used == expected
+
+    def test_far_pc_costs_escape(self):
+        lst = BranchDirectionList(10_000)
+        lst.record(0x1000, True, False, 0, KIND_BRANCH, 1)
+        bits = lst.bits_used
+        lst.record(0x9000, True, False, 0, KIND_BRANCH, 2)
+        assert lst.bits_used == bits + 3 * 6
+
+    def test_overflow(self):
+        lst = BranchDirectionList(4)  # 32 bits
+        assert lst.record(0x1000, True, False, 0, KIND_BRANCH, 1)  # 30 bits
+        assert not lst.record(0x1004, True, False, 0, KIND_BRANCH, 2)
+        assert lst.overflowed
+
+    def test_absorb_into(self):
+        lst = BranchDirectionList(4)
+        lst.record(0x1000, True, False, 0, KIND_BRANCH, 1)
+        lst.record(0x1004, True, False, 0, KIND_BRANCH, 2)
+        big = lst.absorb_into(1000)
+        assert len(big.entries) == 1
+        assert big.record(0x1004, True, True, 0x2000, KIND_IBRANCH, 2)
+
+    def test_unbounded(self):
+        lst = BranchDirectionList(0)
+        for i in range(500):
+            assert lst.record(0x1000 + 4 * i, bool(i % 2), False, 0,
+                              KIND_BRANCH, i)
+
+
+class TestBranchTargetList:
+    def test_near_target_cost(self):
+        lst = BranchTargetList(100)
+        lst.record(0x1000, 0x1800)
+        assert lst.bits_used == 17
+        assert lst.count == 1
+
+    def test_far_target_cost(self):
+        lst = BranchTargetList(100)
+        lst.record(0x1000, 0x80_0000)
+        assert lst.bits_used == 3 * 17
+
+    def test_overflow(self):
+        lst = BranchTargetList(4)  # 32 bits
+        assert lst.record(0x1000, 0x1800)
+        assert not lst.record(0x1004, 0x1900)
+        assert lst.overflowed
+
+    def test_absorb_into(self):
+        lst = BranchTargetList(4)
+        lst.record(0x1000, 0x1800)
+        big = lst.absorb_into(100)
+        assert big.count == 1
+        assert big.record(0x1004, 0x1900)

@@ -1,0 +1,104 @@
+"""Property-based tests for the ESP hint-list encodings."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.esp import BranchDirectionList, CompressedAddressList
+from repro.isa import KIND_BRANCH
+
+block_runs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 20),
+              st.integers(min_value=0, max_value=5000)),
+    max_size=150)
+
+
+@given(block_runs)
+@settings(max_examples=60, deadline=None)
+def test_unbounded_expand_covers_every_recorded_block(records):
+    lst = CompressedAddressList(0)
+    icount = 0
+    recorded = []
+    for block, gap in records:
+        icount += gap
+        lst.record(block, icount)
+        recorded.append(block)
+    covered = {b for b, _ in lst.expand()}
+    assert covered.issuperset(recorded)
+
+
+@given(block_runs)
+@settings(max_examples=60, deadline=None)
+def test_icounts_monotonic_in_expand(records):
+    lst = CompressedAddressList(0)
+    icount = 0
+    for block, gap in records:
+        icount += gap
+        lst.record(block, icount)
+    icounts = [ic for _, ic in lst.expand()]
+    assert icounts == sorted(icounts)
+
+
+@given(block_runs, st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_bounded_list_respects_capacity(records, capacity):
+    lst = CompressedAddressList(capacity)
+    icount = 0
+    for block, gap in records:
+        icount += gap
+        lst.record(block, icount)
+        assert lst.bits_used <= capacity * 8
+
+
+@given(block_runs)
+@settings(max_examples=40, deadline=None)
+def test_bits_used_monotonic(records):
+    lst = CompressedAddressList(0)
+    icount = 0
+    last_bits = 0
+    for block, gap in records:
+        icount += gap
+        lst.record(block, icount)
+        assert lst.bits_used >= last_bits
+        last_bits = lst.bits_used
+
+
+@given(block_runs, st.integers(min_value=8, max_value=64))
+@settings(max_examples=40, deadline=None)
+def test_absorb_preserves_expansion(records, capacity):
+    lst = CompressedAddressList(capacity)
+    icount = 0
+    for block, gap in records:
+        icount += gap
+        lst.record(block, icount)
+    bigger = lst.absorb_into(capacity * 10)
+    assert bigger.expand() == lst.expand()
+    assert bigger.bits_used == lst.bits_used
+
+
+branch_records = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=1 << 20),  # pc / 4
+              st.booleans()),
+    max_size=200)
+
+
+@given(branch_records, st.integers(min_value=2, max_value=100))
+@settings(max_examples=50, deadline=None)
+def test_direction_list_capacity_and_order(records, capacity):
+    lst = BranchDirectionList(capacity)
+    for i, (pc4, taken) in enumerate(records):
+        lst.record(pc4 * 4, taken, False, 0, KIND_BRANCH, i)
+        assert lst.bits_used <= capacity * 8
+    icounts = [e.icount for e in lst.entries]
+    assert icounts == sorted(icounts)
+
+
+@given(branch_records)
+@settings(max_examples=40, deadline=None)
+def test_direction_list_unbounded_records_everything(records):
+    lst = BranchDirectionList(0)
+    for i, (pc4, taken) in enumerate(records):
+        assert lst.record(pc4 * 4, taken, False, 0, KIND_BRANCH, i)
+    assert len(lst.entries) == len(records)
+    for (pc4, taken), entry in zip(records, lst.entries):
+        assert entry.pc == pc4 * 4
+        assert entry.taken == taken

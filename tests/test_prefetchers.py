@@ -1,0 +1,120 @@
+"""Unit tests for the baseline prefetchers."""
+
+import pytest
+
+from repro.prefetch import DcuPrefetcher, NextLineIPrefetcher, StridePrefetcher
+
+
+class TestNextLine:
+    def test_prefetches_next_block(self):
+        nl = NextLineIPrefetcher()
+        assert nl.observe(0, 10) == [11]
+
+    def test_no_repeat_for_same_block(self):
+        nl = NextLineIPrefetcher()
+        nl.observe(0, 10)
+        assert nl.observe(4, 10) == []
+
+    def test_degree(self):
+        nl = NextLineIPrefetcher(degree=3)
+        assert nl.observe(0, 10) == [11, 12, 13]
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            NextLineIPrefetcher(degree=0)
+
+    def test_reset(self):
+        nl = NextLineIPrefetcher()
+        nl.observe(0, 10)
+        nl.reset()
+        assert nl.observe(0, 10) == [11]
+
+
+class TestDcu:
+    def test_requires_consecutive_streak(self):
+        dcu = DcuPrefetcher(trigger=4)
+        for _ in range(3):
+            assert dcu.observe(0, 7) == []
+        assert dcu.observe(0, 7) == [8]
+
+    def test_streak_broken_by_other_block(self):
+        dcu = DcuPrefetcher(trigger=4)
+        for _ in range(3):
+            dcu.observe(0, 7)
+        dcu.observe(0, 9)  # breaks the streak
+        assert dcu.observe(0, 7) == []
+
+    def test_fires_once_per_block(self):
+        dcu = DcuPrefetcher(trigger=2)
+        dcu.observe(0, 7)
+        assert dcu.observe(0, 7) == [8]
+        dcu.observe(0, 7)
+        assert dcu.observe(0, 7) == []  # already armed for 7
+
+    def test_invalid_trigger(self):
+        with pytest.raises(ValueError):
+            DcuPrefetcher(trigger=0)
+
+    def test_reset(self):
+        dcu = DcuPrefetcher(trigger=2)
+        dcu.observe(0, 7)
+        dcu.observe(0, 7)
+        dcu.reset()
+        dcu.observe(0, 7)
+        assert dcu.observe(0, 7) == [8]
+
+
+class TestStride:
+    def test_learns_constant_stride(self):
+        sp = StridePrefetcher(confidence_threshold=2)
+        pc = 0x400
+        results = [sp.observe(pc, 1000 + i * 256) for i in range(5)]
+        assert results[0] == []  # allocation
+        assert results[1] == []  # stride learned, confidence 0->?
+        # after enough confirmations, prefetch next stride's block
+        assert results[4] == [(1000 + 5 * 256) >> 6]
+
+    def test_no_prefetch_for_random_addresses(self):
+        sp = StridePrefetcher()
+        pc = 0x400
+        for addr in (10, 5000, 320, 77777, 42):
+            assert sp.observe(pc, addr) == []
+
+    def test_zero_stride_never_prefetches(self):
+        sp = StridePrefetcher()
+        pc = 0x400
+        for _ in range(8):
+            assert sp.observe(pc, 1234) == []
+
+    def test_small_stride_same_block_suppressed(self):
+        sp = StridePrefetcher(confidence_threshold=1)
+        pc = 0x400
+        out = []
+        for i in range(6):
+            out.extend(sp.observe(pc, i * 8))  # stride 8 stays in block 0
+        assert all(b != 0 for b in out)
+
+    def test_table_capacity_lru(self):
+        sp = StridePrefetcher(entries=2)
+        sp.observe(1, 100)
+        sp.observe(2, 200)
+        sp.observe(3, 300)  # evicts pc=1
+        assert 1 not in sp._table
+        assert 2 in sp._table and 3 in sp._table
+
+    def test_pc_isolation(self):
+        sp = StridePrefetcher(confidence_threshold=1)
+        for i in range(4):
+            sp.observe(0x10, 1000 + i * 128)
+        # a different pc has no learned stride
+        assert sp.observe(0x20, 5000) == []
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(entries=0)
+
+    def test_reset(self):
+        sp = StridePrefetcher()
+        sp.observe(1, 100)
+        sp.reset()
+        assert not sp._table

@@ -1,0 +1,145 @@
+"""Unit tests for the Section 7 comparison prefetchers (EFetch, PIF)."""
+
+import pytest
+
+from repro.prefetch import EfetchPrefetcher, PifPrefetcher
+
+
+class TestPif:
+    def test_records_and_replays_stream(self):
+        pif = PifPrefetcher(history_entries=64, replay_degree=3, lookahead=0)
+        stream = [10, 11, 12, 13, 14, 15]
+        for block in stream:
+            pif.observe(0, block)
+        # revisit the stream head: the recorded continuation is replayed
+        out = pif.observe(0, 10)
+        assert 11 in out
+        assert 12 in out
+
+    def test_streaming_continues_on_match(self):
+        pif = PifPrefetcher(history_entries=64, replay_degree=2, lookahead=0)
+        stream = [10, 11, 12, 13, 14]
+        for block in stream:
+            pif.observe(0, block)
+        pif.observe(0, 10)
+        out = pif.observe(0, 11)  # still on the recorded path
+        assert out  # keeps streaming
+
+    def test_divergence_stops_replay(self):
+        pif = PifPrefetcher(history_entries=64, replay_degree=2, lookahead=0)
+        for block in (10, 11, 12, 13):
+            pif.observe(0, block)
+        pif.observe(0, 10)  # arms replay
+        pif.observe(0, 99)  # diverges
+        assert pif._replay_pos is None
+
+    def test_repeated_block_not_rerecorded(self):
+        pif = PifPrefetcher(history_entries=8)
+        pif.observe(0, 10)
+        pif.observe(0, 10)
+        assert pif._history.count(10) == 1
+
+    def test_history_wraps(self):
+        pif = PifPrefetcher(history_entries=4)
+        for block in range(10):
+            pif.observe(0, block)
+        assert len([b for b in pif._history if b >= 0]) == 4
+
+    def test_invalid_history(self):
+        with pytest.raises(ValueError):
+            PifPrefetcher(history_entries=1)
+
+    def test_hardware_bytes_scale(self):
+        small = PifPrefetcher(history_entries=1024).hardware_bytes()
+        large = PifPrefetcher(history_entries=4096).hardware_bytes()
+        assert large == 4 * small
+
+    def test_reset(self):
+        pif = PifPrefetcher(history_entries=16)
+        pif.observe(0, 10)
+        pif.reset()
+        assert all(b == -1 for b in pif._history)
+        assert not pif._index
+
+
+class TestEfetch:
+    def test_call_prefetches_entry_blocks(self):
+        ef = EfetchPrefetcher()
+        out = ef.on_call(0x8000)
+        assert (0x8000 >> 6) in out
+        assert (0x8000 >> 6) + 1 in out
+
+    def test_context_footprint_learned_and_replayed(self):
+        ef = EfetchPrefetcher()
+        ef.on_call(0x8000)
+        for block in (600, 601, 602):
+            ef.observe(0, block)
+        ef.on_return()
+        out = ef.on_call(0x8000)  # same context again
+        for block in (600, 601, 602):
+            assert block in out
+
+    def test_different_context_different_footprint(self):
+        ef = EfetchPrefetcher()
+        ef.on_call(0x8000)
+        ef.observe(0, 600)
+        ef.on_return()
+        out = ef.on_call(0x9000)
+        assert 600 not in out
+
+    def test_nested_contexts_distinct(self):
+        ef = EfetchPrefetcher()
+        ef.on_call(0x8000)
+        ef.on_call(0x9000)  # context (0x8000 -> 0x9000)
+        ef.observe(0, 700)
+        ef.on_return()
+        ef.on_return()
+        # calling 0x9000 from the top level is a *different* context
+        out = ef.on_call(0x9000)
+        assert 700 not in out
+
+    def test_return_replays_caller_footprint(self):
+        ef = EfetchPrefetcher()
+        ef.on_call(0x8000)
+        ef.observe(0, 600)  # caller-context footprint
+        ef.on_call(0x9000)
+        out = ef.on_return()
+        assert 600 in out
+
+    def test_footprint_capacity(self):
+        ef = EfetchPrefetcher(blocks_per_context=2)
+        ef.on_call(0x8000)
+        for block in (1, 2, 3):
+            ef.observe(0, block)
+        ef.on_return()
+        out = ef.on_call(0x8000)
+        assert 1 not in out  # evicted, LRU
+        assert 2 in out and 3 in out
+
+    def test_context_table_capacity(self):
+        ef = EfetchPrefetcher(contexts=2)
+        for target in (0x1000, 0x2000, 0x3000):
+            ef.on_call(target)
+            ef.observe(0, target >> 6)
+            ef.on_return()
+        assert len(ef._table) <= 2
+
+    def test_unbalanced_return_safe(self):
+        ef = EfetchPrefetcher()
+        assert ef.on_return() == []  # empty stack: back to root context
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            EfetchPrefetcher(contexts=0)
+
+    def test_hardware_near_40kb(self):
+        assert EfetchPrefetcher().hardware_bytes() == pytest.approx(
+            40 * 1024, rel=0.1)
+
+    def test_reset(self):
+        ef = EfetchPrefetcher()
+        ef.on_call(0x8000)
+        ef.observe(0, 600)
+        ef.reset()
+        assert not ef._table
+        assert ef._context == 0

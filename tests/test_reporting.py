@@ -1,0 +1,61 @@
+"""Tests for EXPERIMENTS.md generation."""
+
+from pathlib import Path
+
+from repro.analysis.reporting import (
+    DEFAULT_OUTPUT_DIR,
+    FIGURE_COMMENTARY,
+    generate_markdown,
+)
+
+
+class TestGenerateMarkdown:
+    def test_with_recorded_figures(self, tmp_path):
+        (tmp_path / "figure9.txt").write_text(
+            "Figure 9: Performance of ESP\nNL 15.0\n")
+        text = generate_markdown(tmp_path)
+        assert "# EXPERIMENTS" in text
+        assert "Figure 9: Performance of ESP" in text
+        assert "NL 15.0" in text
+
+    def test_missing_figures_noted(self, tmp_path):
+        text = generate_markdown(tmp_path)
+        assert "not yet generated" in text
+
+    def test_every_commentary_has_paper_and_reproduction(self):
+        for stem, commentary in FIGURE_COMMENTARY:
+            if stem == "figure7":
+                continue  # identical by construction, single paragraph
+            assert "Paper" in commentary, stem
+            assert "Reproduction" in commentary, stem
+
+    def test_commentary_covers_all_evaluation_artifacts(self):
+        stems = {stem for stem, _ in FIGURE_COMMENTARY}
+        for figure in ("figure3", "figure6", "figure7", "figure8",
+                       "figure9", "figure10", "figure11a", "figure11b",
+                       "figure12", "figure13", "figure14", "headline"):
+            assert figure in stems
+
+    def test_default_output_dir_points_into_benchmarks(self):
+        assert DEFAULT_OUTPUT_DIR.name == "output"
+        assert DEFAULT_OUTPUT_DIR.parent.name == "benchmarks"
+
+    def test_regeneration_instructions_included(self, tmp_path):
+        text = generate_markdown(tmp_path)
+        assert "pytest benchmarks/" in text
+
+    def test_markdown_structure(self, tmp_path):
+        (tmp_path / "figure9.txt").write_text("Figure 9: x\n")
+        text = generate_markdown(tmp_path)
+        # every figure gets a section, fenced code block balanced
+        assert text.count("```") % 2 == 0
+        assert text.count("## ") >= len(FIGURE_COMMENTARY)
+
+    def test_repo_experiments_md_in_sync(self):
+        """EXPERIMENTS.md in the repository matches the recorded outputs
+        (regenerate with `python -m repro report > EXPERIMENTS.md`)."""
+        repo_root = DEFAULT_OUTPUT_DIR.parents[1]
+        committed = repo_root / "EXPERIMENTS.md"
+        if not committed.exists() or not DEFAULT_OUTPUT_DIR.exists():
+            return  # fresh checkout without generated artefacts
+        assert committed.read_text() == generate_markdown()

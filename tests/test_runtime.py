@@ -1,0 +1,201 @@
+"""Tests for the multi-queue runtime extension (Section 4.5)."""
+
+import pytest
+
+from repro.runtime import (
+    ArbiterPolicy,
+    ExecutionSchedule,
+    LooperArbiter,
+    SoftwareEventQueue,
+    identity_schedule,
+)
+from repro.runtime.arbiter import build_multiqueue_schedule
+from repro.sim import presets
+from repro.sim.simulator import Simulator
+from repro.workloads import EventTrace
+
+
+class TestSchedule:
+    def test_identity(self):
+        sched = identity_schedule(5)
+        assert sched.order == [0, 1, 2, 3, 4]
+        assert sched.misprediction_count == 0
+        assert sched.predicted_next(0, 2) == [1, 2]
+        assert sched.predicted_next(4, 2) == []
+
+    def test_default_predictions_from_order(self):
+        sched = ExecutionSchedule(order=[2, 0, 1])
+        assert sched.predicted_next(0, 2) == [0, 1]
+
+    def test_misprediction_counting(self):
+        sched = ExecutionSchedule(order=[0, 2, 1],
+                                  predictions=[[1, 2], [1], []])
+        assert sched.misprediction_count == 1  # position 0 predicted 1,
+        assert sched.misprediction_rate == 0.5  # got 2; position 1 correct
+
+    def test_prediction_length_validated(self):
+        with pytest.raises(ValueError):
+            ExecutionSchedule(order=[0, 1], predictions=[[1]])
+
+    def test_depth_truncation(self):
+        sched = ExecutionSchedule(order=[0, 1, 2, 3])
+        assert sched.predicted_next(0, 1) == [1]
+
+    def test_single_event(self):
+        assert identity_schedule(1).misprediction_rate == 0.0
+
+
+class TestSoftwareEventQueue:
+    def test_fifo(self):
+        q = SoftwareEventQueue("q")
+        q.post(1)
+        q.post(2)
+        assert q.runnable(0.0).event_index == 1
+
+    def test_arrival_gating(self):
+        q = SoftwareEventQueue("q")
+        q.post(1, arrival=10.0)
+        q.post(2, arrival=0.0)
+        assert q.runnable(0.0).event_index == 2
+        assert q.runnable(11.0).event_index == 1
+
+    def test_unready_barrier_blocks_sync(self):
+        q = SoftwareEventQueue("q")
+        q.post(1, arrival=50.0, is_barrier=True)
+        q.post(2, synchronous=True)
+        q.post(3, synchronous=False)
+        # the async entry passes the pending barrier; the sync one waits
+        assert q.runnable(0.0).event_index == 3
+        # once the barrier is ready, it runs first
+        assert q.runnable(60.0).event_index == 1
+
+    def test_pop(self):
+        q = SoftwareEventQueue("q")
+        q.post(1)
+        entry = q.runnable(0.0)
+        q.pop(entry)
+        assert len(q) == 0
+        assert q.runnable(0.0) is None
+
+
+class TestLooperArbiter:
+    def _two_queues(self):
+        high = SoftwareEventQueue("high", priority=2)
+        low = SoftwareEventQueue("low", priority=1)
+        return high, low
+
+    def test_priority_policy(self):
+        high, low = self._two_queues()
+        low.post(1)
+        high.post(2)
+        arbiter = LooperArbiter([high, low])
+        queue, entry = arbiter.choose(0.0)
+        assert entry.event_index == 2
+
+    def test_round_robin_policy(self):
+        high, low = self._two_queues()
+        high.post(1)
+        high.post(2)
+        low.post(3)
+        arbiter = LooperArbiter([high, low],
+                                policy=ArbiterPolicy.ROUND_ROBIN)
+        first = arbiter.choose(0.0)[1].event_index
+        arbiter.queues["high" if first == 1 else "low"]  # touch both paths
+        sched = arbiter.build_schedule()
+        assert sorted(sched.order) == [1, 2, 3]
+
+    def test_predict_next_restores_queues(self):
+        high, low = self._two_queues()
+        high.post(1)
+        high.post(2)
+        low.post(3)
+        arbiter = LooperArbiter([high, low])
+        predicted = arbiter.predict_next(0.0, depth=2)
+        assert predicted == [1, 2]
+        assert len(high) == 2 and len(low) == 1
+
+    def test_build_schedule_is_permutation(self):
+        high, low = self._two_queues()
+        for i in range(4):
+            (high if i % 2 else low).post(i)
+        sched = LooperArbiter([high, low]).build_schedule()
+        assert sorted(sched.order) == [0, 1, 2, 3]
+        assert len(sched.predictions) == 4
+
+    def test_idle_until_arrival(self):
+        q = SoftwareEventQueue("q")
+        q.post(0, arrival=5.0)
+        sched = LooperArbiter([q]).build_schedule()
+        assert sched.order == [0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LooperArbiter([])
+        with pytest.raises(ValueError):
+            LooperArbiter([SoftwareEventQueue("a"),
+                           SoftwareEventQueue("a")])
+
+    def test_late_high_priority_arrival_breaks_prediction(self):
+        high, low = self._two_queues()
+        low.post(0)
+        low.post(1)
+        low.post(2)
+        high.post(3, arrival=1.5)  # lands while event 1 runs
+        sched = LooperArbiter([high, low]).build_schedule()
+        assert sched.order == [0, 1, 3, 2]
+        # at dispatch of event 1 (t=1.0), event 3 had not arrived
+        assert sched.predictions[1][0] == 2
+        assert sched.misprediction_count >= 1
+
+
+class TestBuildMultiqueueSchedule:
+    def test_permutation_and_determinism(self):
+        a = build_multiqueue_schedule(40, seed=7)
+        b = build_multiqueue_schedule(40, seed=7)
+        assert sorted(a.order) == list(range(40))
+        assert a.order == b.order
+        assert a.predictions == b.predictions
+
+    def test_different_seeds_differ(self):
+        a = build_multiqueue_schedule(40, seed=7)
+        b = build_multiqueue_schedule(40, seed=8)
+        assert a.order != b.order
+
+    def test_some_mispredictions_at_scale(self):
+        sched = build_multiqueue_schedule(120, seed=2)
+        assert sched.misprediction_count > 0
+
+
+class TestSimulatorIntegration:
+    def test_identity_schedule_matches_default(self, tiny_app):
+        trace = EventTrace(tiny_app)
+        plain = Simulator(trace, presets.esp_nl()).run()
+        scheduled = Simulator(trace, presets.esp_nl(),
+                              schedule=identity_schedule(len(trace))).run()
+        assert plain.cycles == scheduled.cycles
+        assert scheduled.esp.order_mispredictions == 0
+
+    def test_shuffled_schedule_runs_and_counts_mispredictions(self,
+                                                              tiny_app):
+        trace = EventTrace(tiny_app)
+        n = len(trace)
+        order = list(range(n))
+        order[3], order[4] = order[4], order[3]
+        # predictions claim in-index order: position 2's prediction is wrong
+        sched = ExecutionSchedule(
+            order=order,
+            predictions=[[i + 1, i + 2] for i in range(n)])
+        result = Simulator(trace, presets.esp_nl(), schedule=sched).run()
+        assert result.instructions > 0
+        assert result.esp.order_mispredictions >= 1
+
+    def test_mispredicted_hints_are_suppressed(self, tiny_app):
+        trace = EventTrace(tiny_app)
+        n = len(trace)
+        # every prediction is nonsense: no hints should ever be used
+        sched = ExecutionSchedule(
+            order=list(range(n)),
+            predictions=[[(i + 5) % n] for i in range(n)])
+        result = Simulator(trace, presets.esp_nl(), schedule=sched).run()
+        assert result.esp.hinted_events == 0
+        assert result.esp.order_mispredictions > 0

@@ -1,0 +1,82 @@
+"""Property-based tests for the multi-queue runtime."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import ArbiterPolicy, LooperArbiter, SoftwareEventQueue
+from repro.runtime.arbiter import build_multiqueue_schedule
+
+event_specs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2),  # queue
+              st.floats(min_value=0, max_value=50),  # arrival
+              st.booleans(),  # synchronous
+              st.booleans()),  # barrier
+    min_size=1, max_size=40)
+
+
+def build_queues(specs):
+    queues = [SoftwareEventQueue("q0", priority=2),
+              SoftwareEventQueue("q1", priority=1),
+              SoftwareEventQueue("q2", priority=0)]
+    for index, (queue_index, arrival, synchronous, barrier) in \
+            enumerate(specs):
+        queues[queue_index].post(index, arrival=arrival,
+                                 synchronous=synchronous,
+                                 is_barrier=barrier)
+    return queues
+
+
+@given(event_specs, st.sampled_from(list(ArbiterPolicy)))
+@settings(max_examples=60, deadline=None)
+def test_schedule_is_always_a_permutation(specs, policy):
+    arbiter = LooperArbiter(build_queues(specs), policy=policy)
+    schedule = arbiter.build_schedule()
+    assert sorted(schedule.order) == list(range(len(specs)))
+    assert len(schedule.predictions) == len(specs)
+
+
+@given(event_specs)
+@settings(max_examples=40, deadline=None)
+def test_predictions_reference_real_events(specs):
+    arbiter = LooperArbiter(build_queues(specs))
+    schedule = arbiter.build_schedule()
+    valid = set(range(len(specs)))
+    for prediction in schedule.predictions:
+        assert set(prediction) <= valid
+        assert len(prediction) <= 2
+        assert len(set(prediction)) == len(prediction)
+
+
+@given(event_specs)
+@settings(max_examples=40, deadline=None)
+def test_predict_next_has_no_side_effects(specs):
+    queues = build_queues(specs)
+    arbiter = LooperArbiter(queues)
+    before = [list(q.entries) for q in queues]
+    arbiter.predict_next(10.0, depth=2)
+    after = [list(q.entries) for q in queues]
+    assert before == after
+
+
+@given(event_specs)
+@settings(max_examples=40, deadline=None)
+def test_fifo_preserved_within_queue_without_blocking(specs):
+    """Entries of the same queue that are always-ready and synchronous with
+    no barriers ahead must execute in posting order."""
+    arbiter = LooperArbiter(build_queues(specs))
+    schedule = arbiter.build_schedule()
+    position = {event: i for i, event in enumerate(schedule.order)}
+    for queue_index in range(3):
+        plain = [i for i, (q, arrival, sync, barrier) in enumerate(specs)
+                 if q == queue_index and arrival == 0 and not barrier]
+        ordered = [position[event] for event in plain]
+        assert ordered == sorted(ordered)
+
+
+@given(st.integers(min_value=5, max_value=80),
+       st.integers(min_value=0, max_value=20))
+@settings(max_examples=25, deadline=None)
+def test_build_multiqueue_schedule_properties(n, seed):
+    schedule = build_multiqueue_schedule(n, seed=seed)
+    assert sorted(schedule.order) == list(range(n))
+    assert 0.0 <= schedule.misprediction_rate <= 1.0

@@ -1,0 +1,154 @@
+"""End-to-end simulator tests on the tiny workload."""
+
+import pytest
+
+from repro.sim import presets
+from repro.sim.config import (
+    EspConfig,
+    PerfectConfig,
+    PrefetchConfig,
+    RunaheadConfig,
+    SimConfig,
+)
+from repro.sim.simulator import Simulator, simulate
+
+
+@pytest.fixture(scope="module")
+def baseline_result(tiny_app):
+    return Simulator(tiny_app, SimConfig()).run()
+
+
+class TestBasicRun:
+    def test_counts_consistent(self, baseline_result):
+        r = baseline_result
+        assert r.instructions > 0
+        assert r.cycles > r.instructions * 0.7  # at least base CPI
+        assert r.events > 0
+        assert r.l1i_misses <= r.l1i_accesses
+        assert r.l1d_misses <= r.l1d_accesses
+        assert r.branch_mispredicts <= r.branches
+
+    def test_derived_metrics(self, baseline_result):
+        r = baseline_result
+        assert 0 < r.ipc < 4
+        assert r.l1i_mpki == pytest.approx(
+            1000 * r.l1i_misses / r.instructions)
+        assert 0 <= r.l1d_miss_rate <= 1
+        assert 0 <= r.branch_misprediction_rate <= 1
+
+    def test_determinism(self, tiny_app):
+        a = Simulator(tiny_app, SimConfig()).run()
+        b = Simulator(tiny_app, SimConfig()).run()
+        assert a.cycles == b.cycles
+        assert a.instructions == b.instructions
+        assert a.branch_mispredicts == b.branch_mispredicts
+
+    def test_max_events(self, tiny_app):
+        r = Simulator(tiny_app, SimConfig()).run(max_events=6,
+                                                 warmup_fraction=0.3)
+        assert r.events == 2  # 6 total minus the 4-event minimum warm-up
+
+    def test_simulate_wrapper(self, tiny_app):
+        r = simulate(tiny_app, SimConfig())
+        assert r.app == "tinyapp"
+
+    def test_simulate_by_name(self):
+        r = simulate("pixlr", SimConfig(), scale=0.3)
+        assert r.app == "pixlr"
+        assert r.instructions > 0
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_stats(self, tiny_app):
+        full = Simulator(tiny_app, SimConfig()).run(warmup_fraction=0.0)
+        warm = Simulator(tiny_app, SimConfig()).run(warmup_fraction=0.5)
+        assert warm.instructions < full.instructions
+        assert warm.events < full.events
+
+    def test_zero_warmup_keeps_all_events(self, tiny_app, tiny_trace):
+        # warmup_fraction=0 still warms a minimum of 4 events
+        r = Simulator(tiny_app, SimConfig()).run(warmup_fraction=0.0)
+        assert r.events == len(tiny_trace) - 4
+
+
+class TestPerfectStructures:
+    def test_perfect_l1i_faster(self, tiny_app, baseline_result):
+        r = Simulator(tiny_app, SimConfig(
+            perfect=PerfectConfig(l1i=True))).run()
+        assert r.cycles < baseline_result.cycles
+        assert r.l1i_misses == 0
+        assert r.stall_ifetch == 0
+
+    def test_perfect_l1d_faster(self, tiny_app, baseline_result):
+        r = Simulator(tiny_app, SimConfig(
+            perfect=PerfectConfig(l1d=True))).run()
+        assert r.cycles < baseline_result.cycles
+        assert r.l1d_misses == 0
+
+    def test_perfect_branch_faster(self, tiny_app, baseline_result):
+        r = Simulator(tiny_app, SimConfig(
+            perfect=PerfectConfig(branch=True))).run()
+        assert r.cycles < baseline_result.cycles
+        assert r.branch_mispredicts == 0
+        assert r.branches > 0
+
+    def test_perfect_all_is_base_cpi(self, tiny_app):
+        cfg = SimConfig(perfect=PerfectConfig(l1i=True, l1d=True,
+                                              branch=True))
+        r = Simulator(tiny_app, cfg).run()
+        assert r.cycles == pytest.approx(
+            r.instructions * cfg.core.base_cpi, rel=0.01)
+
+
+class TestSidePathConfigs:
+    def test_esp_improves_over_baseline(self, tiny_app, baseline_result):
+        r = Simulator(tiny_app, presets.esp_nl()).run()
+        assert r.cycles < baseline_result.cycles
+        assert r.esp.total_pre_instructions > 0
+        assert r.esp.hinted_events > 0
+
+    def test_runahead_improves_over_baseline(self, tiny_app,
+                                             baseline_result):
+        r = Simulator(tiny_app, presets.runahead()).run()
+        assert r.cycles < baseline_result.cycles
+        assert r.esp.total_pre_instructions > 0
+
+    def test_nl_improves_over_baseline(self, tiny_app, baseline_result):
+        r = Simulator(tiny_app, presets.nl()).run()
+        assert r.cycles < baseline_result.cycles
+        assert r.prefetches_issued_i > 0
+
+    def test_esp_and_runahead_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            SimConfig(esp=EspConfig(enabled=True),
+                      runahead=RunaheadConfig(enabled=True))
+
+    def test_esp_records_and_replays(self, tiny_app):
+        r = Simulator(tiny_app, presets.esp_nl()).run()
+        assert r.esp.list_prefetches_i > 0
+        assert r.esp.list_prefetches_d > 0
+        assert r.esp.blist_trained > 0
+
+    def test_stride_prefetcher_runs(self, tiny_app):
+        cfg = SimConfig(prefetch=PrefetchConfig(next_line_d=True,
+                                                stride=True))
+        r = Simulator(tiny_app, cfg).run()
+        assert r.instructions > 0
+
+    def test_working_set_collection(self, tiny_app):
+        sim = Simulator(tiny_app, presets.esp_nl())
+        sim.collect_working_sets = True
+        sim.run()
+        assert sim.normal_i_working_sets
+        assert all(c > 0 for c in sim.normal_i_working_sets)
+
+
+class TestEnergyAttached:
+    def test_energy_computed(self, baseline_result):
+        assert baseline_result.energy.total > 0
+        assert baseline_result.energy.static > 0
+        assert baseline_result.energy.dynamic_esp == 0  # no ESP
+
+    def test_esp_energy_overhead(self, tiny_app, baseline_result):
+        r = Simulator(tiny_app, presets.esp_nl()).run()
+        assert r.energy.dynamic_esp > 0

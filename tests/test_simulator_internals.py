@@ -1,0 +1,84 @@
+"""Tests for simulator internals: warm-up, resets, and option interplay."""
+
+import pytest
+
+from repro.runtime import ExecutionSchedule
+from repro.sim import presets
+from repro.sim.config import PerfectConfig, SimConfig
+from repro.sim.simulator import Simulator, simulate
+from repro.workloads import EventTrace
+
+
+class TestWarmupSemantics:
+    def test_warmup_events_never_measured(self, tiny_app):
+        sim = Simulator(tiny_app, SimConfig())
+        sim.collect_event_profile = True
+        result = sim.run(warmup_fraction=0.3)
+        measured_indices = {p.event_index for p in sim.event_profiles}
+        n_warm = len(EventTrace(tiny_app)) - result.events
+        assert measured_indices == set(
+            range(n_warm, len(EventTrace(tiny_app))))
+
+    def test_warm_caches_lower_cold_start(self, tiny_app):
+        """The first measured event benefits from the warm-up prefix: its
+        MPKI is far below a truly cold run's first event."""
+        cold = Simulator(tiny_app, SimConfig())
+        cold.collect_event_profile = True
+        cold.run(warmup_fraction=0.0)  # still warms the 4-event minimum
+        # compare whole-run MPKI with and without extra warm-up
+        warm = Simulator(tiny_app, SimConfig()).run(warmup_fraction=0.5)
+        coldest = Simulator(tiny_app, SimConfig()).run(warmup_fraction=0.0)
+        assert warm.l1i_mpki <= coldest.l1i_mpki * 1.5
+
+    def test_prefetch_stats_reset_at_boundary(self, tiny_app):
+        result = Simulator(tiny_app, presets.nl()).run(warmup_fraction=0.5)
+        # counters reflect only the measured region: they cannot exceed
+        # what the measured instructions could have issued
+        assert result.prefetches_issued_i < result.instructions
+
+
+class TestPerfectModes:
+    def test_perfect_l1d_still_counts_accesses(self, tiny_app):
+        result = Simulator(tiny_app, SimConfig(
+            perfect=PerfectConfig(l1d=True))).run()
+        assert result.l1d_accesses > 0
+        assert result.l1d_misses == 0
+
+    def test_perfect_branch_still_counts_branches(self, tiny_app):
+        result = Simulator(tiny_app, SimConfig(
+            perfect=PerfectConfig(branch=True))).run()
+        assert result.branches > 0
+        assert result.stall_branch == 0
+
+    def test_perfect_l1i_zeroes_fetch_stall(self, tiny_app):
+        result = Simulator(tiny_app, SimConfig(
+            perfect=PerfectConfig(l1i=True))).run()
+        assert result.stall_ifetch == 0
+        assert result.llc_i_misses == 0
+
+
+class TestOptionInterplay:
+    def test_schedule_with_max_events(self, tiny_app):
+        trace = EventTrace(tiny_app)
+        schedule = ExecutionSchedule(order=list(range(len(trace))))
+        result = Simulator(trace, presets.nl(),
+                           schedule=schedule).run(max_events=6)
+        assert result.events == 2  # 6 positions minus the 4-event warm-up
+
+    def test_simulate_kwargs_forwarded(self, tiny_app):
+        full = simulate(tiny_app, SimConfig())
+        short = simulate(tiny_app, SimConfig(), max_events=6)
+        assert short.events < full.events
+
+    def test_result_names_app_and_config(self, tiny_app):
+        result = Simulator(tiny_app, presets.esp_nl()).run()
+        assert result.app == "tinyapp"
+        assert result.config == "ESP + NL"
+
+    def test_esp_with_schedule_and_profiles(self, tiny_app):
+        trace = EventTrace(tiny_app)
+        schedule = ExecutionSchedule(order=list(range(len(trace))))
+        sim = Simulator(trace, presets.esp_nl(), schedule=schedule)
+        sim.collect_event_profile = True
+        result = sim.run()
+        assert len(sim.event_profiles) == result.events

@@ -1,0 +1,85 @@
+"""Property-based tests over whole simulations (small random workloads)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import presets
+from repro.sim.config import SimConfig
+from repro.sim.simulator import Simulator
+from repro.workloads.apps import AppProfile
+from repro.workloads.codebase import CodeImageParams
+from repro.workloads.generator import EventTrace
+
+_TRACE_CACHE: dict[int, EventTrace] = {}
+
+
+def trace_for(seed: int) -> EventTrace:
+    if seed not in _TRACE_CACHE:
+        profile = AppProfile(
+            name=f"prop{seed}", actions="property app", paper_events=1,
+            paper_minstr=1,
+            code=CodeImageParams(n_handlers=3, funcs_per_handler=3,
+                                 n_library_funcs=12, blocks_per_func_mean=5,
+                                 block_len_mean=6),
+            n_events=6, event_len_mean=500,
+            heap_blocks_per_event=8, heap_pool_blocks=64,
+            global_blocks_per_handler=24, global_hot_blocks=8,
+            shared_blocks=8, stream_blocks=64, seed=seed)
+        _TRACE_CACHE[seed] = EventTrace(profile, seed=seed)
+    return _TRACE_CACHE[seed]
+
+
+configs = st.sampled_from(["baseline", "nl", "nl_s", "esp", "esp_nl",
+                           "runahead", "runahead_nl", "naive_esp",
+                           "bp_separate_tables", "efetch", "pif"])
+
+
+@given(st.integers(min_value=0, max_value=12), configs)
+@settings(max_examples=30, deadline=None)
+def test_any_config_completes_with_consistent_counters(seed, preset):
+    result = Simulator(trace_for(seed), presets.by_name(preset)).run()
+    assert result.instructions > 0
+    assert result.cycles >= result.instructions \
+        * SimConfig().core.base_cpi * 0.999
+    assert 0 <= result.l1i_misses <= result.l1i_accesses
+    assert 0 <= result.l1d_misses <= result.l1d_accesses
+    assert 0 <= result.branch_mispredicts <= result.branches
+    assert result.llc_i_misses <= result.l1i_misses
+    assert result.llc_d_misses <= result.l1d_misses
+    total_stall = (result.stall_ifetch + result.stall_data
+                   + result.stall_branch)
+    assert result.cycles >= total_stall
+
+
+@given(st.integers(min_value=0, max_value=12))
+@settings(max_examples=12, deadline=None)
+def test_perfect_all_is_fastest(seed):
+    trace = trace_for(seed)
+    perfect = Simulator(trace, presets.perfect_all()).run()
+    for preset in ("baseline", "esp_nl", "runahead_nl"):
+        other = Simulator(trace, presets.by_name(preset)).run()
+        assert other.cycles >= perfect.cycles
+
+
+@given(st.integers(min_value=0, max_value=12))
+@settings(max_examples=10, deadline=None)
+def test_instruction_counts_config_invariant(seed):
+    """The retired-instruction count is a property of the trace, not the
+    machine configuration."""
+    trace = trace_for(seed)
+    counts = {
+        Simulator(trace, presets.by_name(name)).run().instructions
+        for name in ("baseline", "nl", "esp_nl", "runahead_nl")
+    }
+    assert len(counts) == 1
+
+
+@given(st.integers(min_value=0, max_value=12))
+@settings(max_examples=10, deadline=None)
+def test_esp_determinism_across_runs(seed):
+    trace = trace_for(seed)
+    a = Simulator(trace, presets.esp_nl()).run()
+    b = Simulator(trace, presets.esp_nl()).run()
+    assert a.cycles == b.cycles
+    assert a.esp.pre_instructions == b.esp.pre_instructions
+    assert a.branch_mispredicts == b.branch_mispredicts

@@ -1,0 +1,66 @@
+"""Unit tests for the ROB-overlap / MLP stall model."""
+
+import pytest
+
+from repro.core import DataStallModel
+from repro.sim.config import CoreConfig
+
+
+@pytest.fixture
+def model():
+    return DataStallModel(CoreConfig())
+
+
+ROB_HIDE = CoreConfig().rob_hide_cycles  # 96 / 4 = 24
+DATA_HIDE = CoreConfig().data_hide_cycles  # LSQ-bounded
+
+
+class TestShortLatencies:
+    def test_zero_latency_free(self, model):
+        assert model.exposed(10, 100.0, 0, llc_miss=False) == 0.0
+
+    def test_l2_hit_partially_exposed(self, model):
+        # the LSQ bound keeps a small exposed cost on L2 hits
+        assert model.exposed(10, 100.0, 21, llc_miss=False) == 21 - DATA_HIDE
+
+    def test_short_latency_fully_hidden(self, model):
+        assert model.exposed(10, 100.0, DATA_HIDE, llc_miss=False) == 0.0
+
+    def test_long_non_llc_partially_hidden(self, model):
+        assert model.exposed(10, 100.0, 60, llc_miss=False) == 60 - DATA_HIDE
+
+
+class TestLlcMisses:
+    def test_isolated_miss(self, model):
+        exposed = model.exposed(10, 100.0, 122, llc_miss=True)
+        assert exposed == 122 - ROB_HIDE
+
+    def test_clustered_miss_overlaps(self, model):
+        model.exposed(10, 100.0, 122, llc_miss=True)
+        # a second miss 20 instructions later, while the first is
+        # outstanding, completes under its shadow
+        exposed = model.exposed(30, 110.0, 122, llc_miss=True)
+        assert exposed < 122 - ROB_HIDE
+        assert exposed == pytest.approx(
+            max(0.0, (110 + 122) - (100 + 122) - ROB_HIDE))
+
+    def test_fully_overlapped_miss_is_free(self, model):
+        model.exposed(10, 100.0, 122, llc_miss=True)
+        assert model.exposed(30, 210.0, 10, llc_miss=True) == 0.0
+
+    def test_far_apart_misses_both_pay(self, model):
+        first = model.exposed(10, 100.0, 122, llc_miss=True)
+        second = model.exposed(10_000, 100_000.0, 122, llc_miss=True)
+        assert first == second == 122 - ROB_HIDE
+
+    def test_close_icount_but_resolved_misses_both_pay(self, model):
+        model.exposed(10, 100.0, 122, llc_miss=True)
+        # same ROB window but the first miss completed long ago
+        exposed = model.exposed(30, 100_000.0, 122, llc_miss=True)
+        assert exposed == 122 - ROB_HIDE
+
+    def test_reset(self, model):
+        model.exposed(10, 100.0, 122, llc_miss=True)
+        model.reset()
+        exposed = model.exposed(11, 101.0, 122, llc_miss=True)
+        assert exposed == 122 - ROB_HIDE

@@ -1,0 +1,84 @@
+"""Tests for the parameter-sweep utility."""
+
+import pytest
+
+from repro.sim import presets
+from repro.sim.config import SimConfig
+from repro.sim.experiments import ExperimentRunner
+from repro.sim.sweep import ParameterSweep, core_knob, esp_knob
+
+
+@pytest.fixture(scope="module")
+def runner(tmp_path_factory):
+    return ExperimentRunner(cache_dir=tmp_path_factory.mktemp("cache"),
+                            scale=0.5)
+
+
+APPS = ("pixlr",)
+
+
+class TestParameterSweep:
+    def test_basic_sweep(self, runner):
+        sweep = ParameterSweep(
+            base=presets.esp_nl(),
+            vary=esp_knob("prefetch_lead"),
+            values=[50, 190],
+            knob="prefetch_lead")
+        result = sweep.run(runner, APPS)
+        assert len(result.points) == 2
+        assert result.points[0].value == 50
+        assert "pixlr" in result.points[0].improvements
+        assert result.best() in result.points
+
+    def test_format(self, runner):
+        sweep = ParameterSweep(presets.esp_nl(), esp_knob("prefetch_lead"),
+                               [190], knob="lead")
+        text = sweep.run(runner, APPS).format()
+        assert "lead" in text
+        assert "best" in text
+
+    def test_as_series(self, runner):
+        sweep = ParameterSweep(presets.esp_nl(),
+                               esp_knob("blist_train_lead"), [4, 8])
+        series = sweep.run(runner, APPS).as_series()
+        assert set(series) == {"4", "8"}
+
+    def test_configs_named_by_value(self, runner):
+        sweep = ParameterSweep(presets.esp_nl(), esp_knob("prefetch_lead"),
+                               [99], knob="lead")
+        result = sweep.run(runner, APPS)
+        assert "lead=99" in result.points[0].config.name
+
+    def test_custom_baseline(self, runner):
+        sweep = ParameterSweep(presets.esp_nl(), esp_knob("prefetch_lead"),
+                               [190], baseline=presets.nl())
+        point = sweep.run(runner, APPS).points[0]
+        nl = runner.run("pixlr", presets.nl())
+        esp = point.results["pixlr"]
+        assert point.improvements["pixlr"] == pytest.approx(
+            esp.improvement_over(nl))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterSweep(presets.esp_nl(), esp_knob("prefetch_lead"), [])
+
+    def test_vary_must_return_config(self, runner):
+        sweep = ParameterSweep(presets.esp_nl(),
+                               lambda cfg, v: "not a config", [1])
+        with pytest.raises(TypeError):
+            sweep.run(runner, APPS)
+
+    def test_core_knob(self, runner):
+        sweep = ParameterSweep(presets.nl(), core_knob("mispredict_penalty"),
+                               [15, 30], knob="penalty")
+        result = sweep.run(runner, APPS)
+        # a larger flush penalty can only slow things down
+        assert result.points[0].hmean_improvement >= \
+            result.points[1].hmean_improvement
+
+    def test_knob_functions_produce_new_configs(self):
+        base = presets.esp_nl()
+        varied = esp_knob("prefetch_lead")(base, 500)
+        assert varied.esp.prefetch_lead == 500
+        assert base.esp.prefetch_lead == 190
+        assert isinstance(varied, SimConfig)

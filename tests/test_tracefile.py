@@ -1,0 +1,129 @@
+"""Tests for binary trace serialisation."""
+
+import io
+
+import pytest
+
+from repro.isa import KIND_ALU, KIND_BRANCH, KIND_LOAD, Instruction
+from repro.isa.tracefile import (
+    _read_varint,
+    _unzigzag,
+    _write_varint,
+    _zigzag,
+    dump_trace,
+    load_trace,
+)
+from repro.workloads import EventTrace
+
+
+class TestVarints:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2 ** 31,
+                                       2 ** 45])
+    def test_roundtrip(self, value):
+        buffer = io.BytesIO()
+        _write_varint(buffer, value)
+        buffer.seek(0)
+        assert _read_varint(buffer) == value
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _write_varint(io.BytesIO(), -1)
+
+    def test_truncated_raises(self):
+        with pytest.raises(EOFError):
+            _read_varint(io.BytesIO(b"\x80"))
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 4, -4, 10 ** 9, -10 ** 9])
+    def test_zigzag_roundtrip(self, value):
+        assert _unzigzag(_zigzag(value)) == value
+
+    def test_small_values_one_byte(self):
+        buffer = io.BytesIO()
+        _write_varint(buffer, 42)
+        assert len(buffer.getvalue()) == 1
+
+
+class TestTraceRoundtrip:
+    def test_full_roundtrip(self, tiny_app, tmp_path):
+        trace = EventTrace(tiny_app)
+        path = tmp_path / "trace.espt"
+        size = dump_trace(trace, path)
+        assert size == path.stat().st_size
+
+        loaded = load_trace(path, profile=tiny_app)
+        assert len(loaded) == len(trace)
+        assert loaded.app_name == tiny_app.name
+        for k in range(len(trace)):
+            original = trace.event(k)
+            restored = loaded.event(k)
+            assert restored.true_stream == original.true_stream
+            assert restored.handler_fid == original.handler_fid
+            assert restored.diverged == original.diverged
+            if original.diverged:
+                assert restored.spec_stream == original.spec_stream
+            else:
+                assert restored.spec_stream is restored.true_stream
+
+    def test_looper_streams_regenerate(self, tiny_app, tmp_path):
+        trace = EventTrace(tiny_app)
+        path = tmp_path / "trace.espt"
+        dump_trace(trace, path)
+        loaded = load_trace(path, profile=tiny_app)
+        assert loaded.looper_stream(2) == trace.looper_stream(2)
+
+    def test_loaded_trace_simulates(self, tiny_app, tmp_path):
+        from repro.sim import presets
+        from repro.sim.simulator import Simulator
+
+        trace = EventTrace(tiny_app)
+        path = tmp_path / "trace.espt"
+        dump_trace(trace, path)
+        loaded = load_trace(path, profile=tiny_app)
+        direct = Simulator(trace, presets.esp_nl()).run()
+        replayed = Simulator(loaded, presets.esp_nl()).run()
+        assert replayed.cycles == direct.cycles
+        assert replayed.instructions == direct.instructions
+
+    def test_compactness(self, tiny_app, tmp_path):
+        trace = EventTrace(tiny_app)
+        path = tmp_path / "trace.espt"
+        size = dump_trace(trace, path)
+        total_instructions = sum(len(trace.event(k))
+                                 for k in range(len(trace)))
+        assert size / total_instructions < 6  # bytes per instruction
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.espt"
+        path.write_bytes(b"NOPE rest")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_bad_version(self, tmp_path):
+        path = tmp_path / "bogus.espt"
+        path.write_bytes(b"ESPT\x63")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_truncated_file(self, tiny_app, tmp_path):
+        trace = EventTrace(tiny_app)
+        path = tmp_path / "trace.espt"
+        dump_trace(trace, path)
+        path.write_bytes(path.read_bytes()[:100])
+        with pytest.raises(EOFError):
+            load_trace(path)
+
+
+class TestStreamEncoding:
+    def test_mixed_kinds(self, tmp_path):
+        from repro.isa.tracefile import _read_stream, _write_stream
+
+        stream = [
+            Instruction(0x1000, KIND_ALU),
+            Instruction(0x1004, KIND_LOAD, addr=0x9000_0008),
+            Instruction(0x1008, KIND_BRANCH, taken=True, target=0x0800),
+            Instruction(0x0800, KIND_BRANCH, taken=False),
+        ]
+        buffer = io.BytesIO()
+        _write_stream(buffer, stream)
+        buffer.seek(0)
+        assert _read_stream(buffer, len(stream)) == stream

@@ -1,0 +1,78 @@
+"""Property-based tests over the workload generator (varied seeds)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import (
+    KIND_CALL,
+    KIND_IBRANCH,
+    KIND_RETURN,
+    is_branch_kind,
+    is_memory_kind,
+)
+from repro.workloads import EventTrace
+from repro.workloads.apps import AppProfile
+from repro.workloads.codebase import CodeImageParams
+
+SMALL_CODE = CodeImageParams(n_handlers=3, funcs_per_handler=3,
+                             n_library_funcs=10, blocks_per_func_mean=5,
+                             block_len_mean=6)
+
+
+def small_app(seed: int) -> AppProfile:
+    return AppProfile(
+        name=f"prop{seed}", actions="property-test app", paper_events=1,
+        paper_minstr=1, code=SMALL_CODE, n_events=5, event_len_mean=400,
+        heap_blocks_per_event=8, heap_pool_blocks=64,
+        global_blocks_per_handler=24, global_hot_blocks=8,
+        shared_blocks=8, stream_blocks=64, seed=seed)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_streams_well_formed(seed):
+    trace = EventTrace(small_app(seed % 50), seed=seed)
+    stream = trace.event(seed % len(trace)).true_stream
+    assert stream
+    for inst in stream:
+        assert inst.pc % 4 == 0
+        if is_memory_kind(inst.kind):
+            assert inst.addr > 0
+        if is_branch_kind(inst.kind) and inst.taken:
+            assert inst.target > 0
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_calls_and_returns_balance(seed):
+    trace = EventTrace(small_app(seed % 50), seed=seed)
+    stream = trace.event(0).true_stream
+    calls = sum(1 for i in stream
+                if i.kind in (KIND_CALL, KIND_IBRANCH))
+    returns = sum(1 for i in stream if i.kind == KIND_RETURN)
+    # every return matches some call/dispatch; truncation may strand calls
+    assert returns <= calls + 1
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=20, deadline=None)
+def test_spec_stream_prefix_property(seed):
+    trace = EventTrace(small_app(seed % 50), seed=seed)
+    for k in range(len(trace)):
+        event = trace.event(k)
+        if event.diverged:
+            boundary = next(
+                (i for i, (a, b) in enumerate(
+                    zip(event.true_stream, event.spec_stream)) if a != b),
+                None)
+            assert boundary is not None or \
+                len(event.true_stream) != len(event.spec_stream)
+
+
+@given(st.integers(min_value=0, max_value=1000),
+       st.floats(min_value=0.3, max_value=2.0))
+@settings(max_examples=15, deadline=None)
+def test_scaling_monotonic(seed, scale):
+    app = small_app(seed % 50)
+    scaled = EventTrace(app, scale=scale, seed=seed)
+    assert len(scaled) == max(3, round(app.n_events * scale))

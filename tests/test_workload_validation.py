@@ -1,0 +1,96 @@
+"""Tests for the workload validator — and the real profiles' invariants."""
+
+import pytest
+
+from repro.workloads import APP_NAMES, EventTrace, get_app
+from repro.workloads.validation import (
+    Expectations,
+    WorkloadStats,
+    measure,
+    validate,
+)
+
+
+class TestMeasure:
+    def test_basic_fields(self, tiny_trace):
+        stats = measure(tiny_trace)
+        assert stats.app == "tinyapp"
+        assert stats.events == len(tiny_trace)
+        assert stats.total_instructions == sum(stats.per_event_lengths)
+        assert stats.mean_event_length > 0
+        assert 0 < stats.memory_fraction < 1
+        assert 0 < stats.branch_fraction < 1
+
+    def test_max_events_prefix(self, tiny_trace):
+        stats = measure(tiny_trace, max_events=3)
+        assert stats.events == 3
+        assert len(stats.per_event_lengths) == 3
+
+    def test_divergence_rate(self, tiny_trace):
+        stats = measure(tiny_trace)
+        assert 0 <= stats.divergence_rate <= 1
+
+
+class TestValidate:
+    def good_stats(self) -> WorkloadStats:
+        return WorkloadStats(
+            app="x", events=20, total_instructions=200_000,
+            mean_event_length=10_000, memory_fraction=0.35,
+            branch_fraction=0.12, mean_i_footprint=50_000,
+            mean_d_footprint=60_000, distinct_handlers=8,
+            diverged_events=1)
+
+    def test_good_stats_pass(self):
+        assert validate(self.good_stats()) == []
+
+    def test_memory_fraction_bounds(self):
+        stats = self.good_stats()
+        stats.memory_fraction = 0.9
+        assert any("memory fraction" in p for p in validate(stats))
+
+    def test_branch_fraction_bounds(self):
+        stats = self.good_stats()
+        stats.branch_fraction = 0.01
+        assert any("branch fraction" in p for p in validate(stats))
+
+    def test_footprint_floors(self):
+        stats = self.good_stats()
+        stats.mean_i_footprint = 1000
+        stats.mean_d_footprint = 1000
+        problems = validate(stats)
+        assert any("I-footprint" in p for p in problems)
+        assert any("D-footprint" in p for p in problems)
+
+    def test_divergence_ceiling(self):
+        stats = self.good_stats()
+        stats.diverged_events = 10
+        assert any("divergence" in p for p in validate(stats))
+
+    def test_handler_floor(self):
+        stats = self.good_stats()
+        stats.distinct_handlers = 1
+        assert any("handlers" in p for p in validate(stats))
+
+    def test_custom_expectations(self):
+        stats = self.good_stats()
+        strict = Expectations(min_distinct_handlers=100)
+        assert validate(stats, strict)
+
+
+#: pixlr is deliberately a small data-streaming session (Figure 6's 26 M
+#: instructions vs 2,722 M for gmaps); its per-event footprints are smaller
+PER_APP_EXPECTATIONS = {
+    "pixlr": Expectations(min_mean_i_footprint=5_000,
+                          min_mean_d_footprint=10_000),
+}
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_every_profile_satisfies_the_paper_characterisation(app):
+    """The calibrated profiles must keep the Section 2 invariants (measured
+    on a prefix for speed; the statistics are per-event, so a prefix is
+    representative)."""
+    trace = EventTrace(get_app(app), scale=1.0)
+    stats = measure(trace, max_events=8)
+    problems = validate(stats, PER_APP_EXPECTATIONS.get(app))
+    assert problems == [], f"{app}: {problems}"
