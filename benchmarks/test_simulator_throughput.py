@@ -1,19 +1,44 @@
 """Simulator throughput — how fast the trace-driven model itself runs.
 
 Not a paper figure; tracks the cost of the reproduction's hot loop so
-regressions in simulation speed are visible.
+regressions in simulation speed are visible. Two loop implementations
+exist (``repro.sim.simulator``): the object path over
+``list[Instruction]`` and the packed struct-of-arrays fast path. The
+benchmarks time both; ``test_record_throughput_snapshot`` writes the
+measured speedups to ``output/BENCH_throughput.json`` for the record.
+
+Runtime numbers are machine-dependent — the snapshot embeds the CPU
+count so single-core containers (where process fan-out adds overhead
+instead of parallelism) are recognisable in recorded results.
 """
 
+import json
+import os
+import time
+from pathlib import Path
+
 from repro.sim import presets
+from repro.sim.experiments import ExperimentRunner
 from repro.sim.simulator import Simulator
 from repro.workloads import EventTrace, get_app
 
+_OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def _prewarmed_trace(scale: float = 1.0) -> EventTrace:
+    """A trace with every event materialised and packed up front, so the
+    benchmark isolates the simulator loop from stream generation."""
+    trace = EventTrace(get_app("pixlr"), scale=scale)
+    trace._cache_capacity = len(trace) + 4  # defeat the event LRU
+    for k in range(len(trace)):
+        trace.event(k).packed_true()
+        trace.event(k).packed_spec()
+        trace.packed_looper_stream(k)
+    return trace
+
 
 def test_baseline_simulation_throughput(benchmark):
-    trace = EventTrace(get_app("pixlr"))
-    # materialise events up front so the benchmark isolates the simulator
-    for k in range(len(trace)):
-        trace.event(k)
+    trace = _prewarmed_trace()
 
     def run():
         return Simulator(trace, presets.nl()).run()
@@ -22,13 +47,106 @@ def test_baseline_simulation_throughput(benchmark):
     assert result.instructions > 0
 
 
+def test_baseline_object_path_throughput(benchmark):
+    trace = _prewarmed_trace()
+
+    def run():
+        return Simulator(trace, presets.nl(), use_packed=False).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions > 0
+
+
 def test_esp_simulation_throughput(benchmark):
-    trace = EventTrace(get_app("pixlr"))
-    for k in range(len(trace)):
-        trace.event(k)
+    trace = _prewarmed_trace()
 
     def run():
         return Simulator(trace, presets.esp_nl()).run()
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.esp.total_pre_instructions > 0
+
+
+def test_esp_object_path_throughput(benchmark):
+    trace = _prewarmed_trace()
+
+    def run():
+        return Simulator(trace, presets.esp_nl(), use_packed=False).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.esp.total_pre_instructions > 0
+
+
+def test_parallel_grid_throughput(benchmark, tmp_path_factory):
+    """Wall-clock of a small (config × app) grid fanned over two worker
+    processes. Gains require ≥2 free cores; on a single-core machine the
+    fork overhead makes this slower than serial — the point of keeping
+    the benchmark is that the recorded number is honest either way."""
+    grid_apps = ["bing", "pixlr"]
+    grid_configs = [presets.baseline(), presets.esp_nl()]
+
+    def run():
+        cache = tmp_path_factory.mktemp("parallel-grid")
+        runner = ExperimentRunner(cache_dir=cache, scale=0.25, seed=0,
+                                  jobs=2)
+        return runner.grid(grid_configs, apps=grid_apps)
+
+    grid = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(grid) == 2
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_record_throughput_snapshot(tmp_path_factory):
+    """Measure packed-vs-object and serial-vs-parallel speedups and write
+    them to ``output/BENCH_throughput.json``."""
+    trace = _prewarmed_trace()
+    snapshot: dict = {
+        "machine": {"cpu_count": os.cpu_count()},
+        "workload": "pixlr scale=1.0 seed=0",
+        "single_thread": {},
+    }
+    for name, reps in (("baseline", 5), ("nl", 5), ("esp_nl", 3)):
+        config = presets.by_name(name)
+        t_obj = _best_of(
+            lambda: Simulator(trace, config, use_packed=False).run(), reps)
+        t_packed = _best_of(
+            lambda: Simulator(trace, config).run(), reps)
+        snapshot["single_thread"][name] = {
+            "object_path_s": round(t_obj, 4),
+            "packed_path_s": round(t_packed, 4),
+            "speedup": round(t_obj / t_packed, 3),
+        }
+
+    grid_apps = ["bing", "pixlr"]
+    grid_configs = [presets.baseline(), presets.esp_nl()]
+    timings = {}
+    for label, jobs in (("serial", 1), ("jobs2", 2)):
+        cache = tmp_path_factory.mktemp(f"snapshot-{label}")
+        runner = ExperimentRunner(cache_dir=cache, scale=0.25, seed=0,
+                                  jobs=jobs)
+        start = time.perf_counter()
+        runner.grid(grid_configs, apps=grid_apps)
+        timings[label] = time.perf_counter() - start
+    snapshot["grid_2x2_scale0.25"] = {
+        "serial_s": round(timings["serial"], 4),
+        "jobs2_s": round(timings["jobs2"], 4),
+        "parallel_speedup": round(timings["serial"] / timings["jobs2"], 3),
+        "note": "fan-out only helps with >=2 free cores; single-core "
+                "containers pay fork overhead instead",
+    }
+
+    _OUTPUT_DIR.mkdir(exist_ok=True)
+    (_OUTPUT_DIR / "BENCH_throughput.json").write_text(
+        json.dumps(snapshot, indent=2) + "\n")
+    print()
+    print(json.dumps(snapshot, indent=2))
+    for entry in snapshot["single_thread"].values():
+        assert entry["speedup"] > 0

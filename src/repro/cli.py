@@ -47,6 +47,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
     names = list(args.names)
     if args.json:
         names.insert(0, "--json")
+    if args.jobs is not None:
+        names = ["--jobs", str(args.jobs)] + names
     figures_main(names or None)
     return 0
 
@@ -136,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="figure ids (default: all), e.g. figure9 figure12")
     p.add_argument("--json", action="store_true",
                    help="emit JSON instead of text tables")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the simulation grid "
+                        "(default: REPRO_JOBS or 1)")
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("calibrate", help="workload calibration report")

@@ -36,6 +36,7 @@ from repro.isa.instructions import (
     KIND_LOAD,
     KIND_STORE,
 )
+from repro.isa.stream import PackedStream
 from repro.memory.cachelet import CacheletPair
 from repro.sim.config import EspBpMode
 
@@ -52,7 +53,8 @@ class EspController:
 
     def __init__(self, config: "SimConfig", hierarchy: "MemoryHierarchy",
                  predictor: "PentiumMPredictor", stats: "EspStats",
-                 spec_stream_provider: Callable[[int], "list[Instruction]"],
+                 spec_stream_provider:
+                 "Callable[[int], PackedStream | list[Instruction]]",
                  handler_addr_provider: Callable[[int], int],
                  n_events: int,
                  predicted_provider: "Callable[[int], list[int]] | None"
@@ -272,7 +274,11 @@ class EspController:
             slot.state = state
         state = slot.state
         if not slot.eu:
-            state.stream = self._spec_stream(slot.event_index)
+            stream = self._spec_stream(slot.event_index)
+            if not isinstance(stream, PackedStream):
+                # providers may hand back plain Instruction lists
+                stream = PackedStream.from_instructions(stream)
+            state.stream = stream
             state.hints = RecordedHints.for_mode(self.esp, mode) \
                 if not self.esp.naive else None
             if self.esp.bp_mode is EspBpMode.SEPARATE_TABLES:
@@ -295,6 +301,12 @@ class EspController:
         esp = self.esp
         state = slot.state
         stream = state.stream
+        pcs = stream.pc
+        kinds = stream.kind
+        addrs = stream.addr
+        takens = stream.taken
+        targets = stream.target
+        blocks = stream.block
         pos = state.position
         n = len(stream)
         naive = esp.naive
@@ -324,13 +336,13 @@ class EspController:
 
         try:
             while budget > 0 and pos < n:
-                inst = stream[pos]
+                i = pos
+                block = blocks[i]
                 pos += 1
                 state.icount += 1
                 pre_count += 1
                 budget -= base_cost
 
-                block = inst.pc >> BLOCK_SHIFT
                 if block != state.last_i_block:
                     state.last_i_block = block
                     i_touched.add(block)
@@ -360,11 +372,11 @@ class EspController:
                             break
                         budget -= latency
 
-                kind = inst.kind
+                kind = kinds[i]
                 if kind == KIND_ALU:
                     continue
                 if kind == KIND_LOAD or kind == KIND_STORE:
-                    dblock = inst.addr >> BLOCK_SHIFT
+                    dblock = addrs[i] >> BLOCK_SHIFT
                     d_touched.add(dblock)
                     if naive:
                         latency = hierarchy.residency_latency("d", dblock)
@@ -388,11 +400,15 @@ class EspController:
                     continue
 
                 # control flow
+                pc = pcs[i]
+                taken = takens[i]
+                target = targets[i]
                 if bp_mode is EspBpMode.NONE:
-                    mispredicted = self._predict_only(predictor, inst)
+                    mispredicted = self._predict_only(
+                        predictor, pc, kind, taken, target)
                 else:
                     outcome = predictor.execute_branch(
-                        inst.pc, kind, inst.taken, inst.target, count=False)
+                        pc, kind, taken, target, count=False)
                     mispredicted = outcome.mispredicted
                     if bp_mode is EspBpMode.NAIVE:
                         # shared RAS picked up speculative frames; it will
@@ -403,12 +419,12 @@ class EspController:
                 if hints is not None:
                     indirect = kind == KIND_IBRANCH
                     if kind == KIND_BRANCH or indirect:
-                        if not hints.b_dir.record(inst.pc, inst.taken,
-                                                  indirect, inst.target,
-                                                  kind, state.icount):
+                        if not hints.b_dir.record(pc, taken, indirect,
+                                                  target, kind,
+                                                  state.icount):
                             self.stats.list_overflows += 1
-                        if indirect and inst.taken:
-                            hints.b_tgt.record(inst.pc, inst.target)
+                        if indirect and taken:
+                            hints.b_tgt.record(pc, target)
         finally:
             if swap_pir:
                 state.pir = predictor.pir
@@ -429,11 +445,11 @@ class EspController:
         return budget, jump_deeper
 
     @staticmethod
-    def _predict_only(predictor: "PentiumMPredictor",
-                      inst: "Instruction") -> bool:
+    def _predict_only(predictor: "PentiumMPredictor", pc: int, kind: int,
+                      taken: bool, target: int) -> bool:
         """Prediction without any table update (the NONE design point)."""
-        if inst.kind == KIND_BRANCH:
-            return predictor.predict_direction(inst.pc) != inst.taken
-        if inst.kind == KIND_IBRANCH:
-            return predictor.predict_target(inst.pc, inst.kind) != inst.target
+        if kind == KIND_BRANCH:
+            return predictor.predict_direction(pc) != taken
+        if kind == KIND_IBRANCH:
+            return predictor.predict_target(pc, kind) != target
         return False

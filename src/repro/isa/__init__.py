@@ -25,7 +25,12 @@ from repro.isa.instructions import (
     is_branch_kind,
     is_memory_kind,
 )
-from repro.isa.stream import StreamStats, stream_footprint, summarize_stream
+from repro.isa.stream import (
+    PackedStream,
+    StreamStats,
+    stream_footprint,
+    summarize_stream,
+)
 
 __all__ = [
     "BLOCK_BYTES",
@@ -41,6 +46,7 @@ __all__ = [
     "KIND_RETURN",
     "KIND_STORE",
     "Instruction",
+    "PackedStream",
     "StreamStats",
     "block_of",
     "is_branch_kind",

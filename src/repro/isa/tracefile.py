@@ -6,23 +6,36 @@ configurations. This module gives the reproduction the same workflow:
 export a generated :class:`~repro.workloads.EventTrace`'s streams to a
 compact binary file, and replay them later — or on another machine —
 without regenerating. It also provides a stable interchange format for
-regression-testing the generator.
+regression-testing the generator, and backs the experiment harness's
+record-once/simulate-many trace cache (parallel workers deserialise a
+trace far faster than they can regenerate it).
 
-Format (little-endian, magic ``ESPT``):
+Format (little-endian, magic ``ESPT``, version 2):
 
-* header: magic, version, app-name length + UTF-8 bytes, event count
-* per event: handler id (varint), diverged flag, true-stream length,
-  spec-stream length (0 ⇒ shares the true stream), then the streams
+* header: magic, version, app-name length + UTF-8 bytes, workload seed,
+  event count
+* per event: handler id (varint), diverged flag, true-stream instruction
+  count, spec-stream instruction count (0 ⇒ shares the true stream),
+  true-stream byte length, spec-stream byte length, then the streams
 * per instruction: one kind/flag byte, then varint-encoded PC delta
   (zig-zag), and — where the kind needs them — address and target varints
 
+The per-stream byte lengths let :func:`load_trace` index every event in
+one O(events) skip-scan and decode streams lazily: a loaded trace holds
+the raw bytes (~6 B per instruction) and materialises events on demand
+into a small LRU window, the same memory discipline as
+:class:`~repro.workloads.EventTrace`.
+
 Varints keep typical instructions to 2-4 bytes (~8x smaller than pickled
-objects) and the format has no Python-specific dependencies.
+objects) and the format has no Python-specific dependencies. Version-1
+files (no seed, no byte-length index) are not readable; regenerate them.
 """
 
 from __future__ import annotations
 
 import io
+import os
+from collections import OrderedDict
 from pathlib import Path
 from typing import BinaryIO
 
@@ -30,7 +43,7 @@ from repro.isa.instructions import Instruction, is_branch_kind, \
     is_memory_kind
 
 MAGIC = b"ESPT"
-VERSION = 1
+VERSION = 2
 
 _TAKEN_FLAG = 0x10
 
@@ -112,13 +125,20 @@ def _read_stream(data: BinaryIO, count: int) -> list[Instruction]:
 def dump_trace(trace, path: Path | str) -> int:
     """Serialise every event of ``trace`` (an
     :class:`~repro.workloads.EventTrace`) to ``path``. Returns bytes
-    written."""
+    written.
+
+    The file is written to a temporary sibling and moved into place, so
+    concurrent writers of the same path (parallel experiment workers that
+    raced past each other's existence check) each land a complete file
+    and readers never observe a partial one.
+    """
     buffer = io.BytesIO()
     buffer.write(MAGIC)
     _write_varint(buffer, VERSION)
     name = trace.profile.name.encode()
     _write_varint(buffer, len(name))
     buffer.write(name)
+    _write_varint(buffer, getattr(trace, "seed", 0))
     _write_varint(buffer, len(trace))
     for index in range(len(trace)):
         event = trace.event(index)
@@ -127,82 +147,175 @@ def dump_trace(trace, path: Path | str) -> int:
         _write_varint(buffer, len(event.true_stream))
         _write_varint(buffer, len(event.spec_stream)
                       if event.diverged else 0)
-        _write_stream(buffer, event.true_stream)
+        true_bytes = io.BytesIO()
+        _write_stream(true_bytes, event.true_stream)
+        true_payload = true_bytes.getvalue()
+        spec_payload = b""
         if event.diverged:
-            _write_stream(buffer, event.spec_stream)
+            spec_bytes = io.BytesIO()
+            _write_stream(spec_bytes, event.spec_stream)
+            spec_payload = spec_bytes.getvalue()
+        _write_varint(buffer, len(true_payload))
+        _write_varint(buffer, len(spec_payload))
+        buffer.write(true_payload)
+        buffer.write(spec_payload)
     payload = buffer.getvalue()
-    Path(path).write_bytes(payload)
+    path = Path(path)
+    tmp = path.parent / (path.name + f".{os.getpid()}.tmp")
+    tmp.write_bytes(payload)
+    os.replace(tmp, path)
     return len(payload)
+
+
+class _EventIndex:
+    """Byte-offset record for one serialised event."""
+
+    __slots__ = ("handler_fid", "true_count", "spec_count",
+                 "true_offset", "true_length", "spec_offset",
+                 "spec_length")
+
+    def __init__(self, handler_fid: int, true_count: int, spec_count: int,
+                 true_offset: int, true_length: int, spec_offset: int,
+                 spec_length: int) -> None:
+        self.handler_fid = handler_fid
+        self.true_count = true_count
+        self.spec_count = spec_count
+        self.true_offset = true_offset
+        self.true_length = true_length
+        self.spec_offset = spec_offset
+        self.spec_length = spec_length
 
 
 class LoadedTrace:
     """A deserialised trace, API-compatible with the simulator's needs
-    (``event(k)``, ``looper_stream(k)``, ``__len__``) when paired with the
-    original profile for looper regeneration."""
+    (``event(k)``, ``looper_stream(k)``, ``packed_looper_stream(k)``,
+    ``handler_fid(k)``, ``__len__``).
 
-    def __init__(self, app_name: str, events: list,
-                 profile=None) -> None:
+    Events decode lazily from the raw file bytes into a small LRU window
+    — the full object form of a large app would be ~20x the size of the
+    encoded bytes — and the looper streams and code image regenerate
+    deterministically from the profile and the recorded seed.
+    """
+
+    _CACHE_CAPACITY = 8
+
+    def __init__(self, app_name: str, seed: int, data: bytes,
+                 index: list[_EventIndex], profile=None) -> None:
         from repro.workloads import get_app
         from repro.workloads.generator import EventTrace
 
         self.app_name = app_name
-        self.events = events
+        self.seed = seed
+        self._data = data
+        self._index = index
         # regenerate the (tiny, deterministic) looper streams and image
-        # from the profile; the heavy event streams come from the file
+        # from the profile and seed; the heavy event streams come from
+        # the file
         if profile is None:
             profile = get_app(app_name)
-        self._shadow = EventTrace(profile, scale=0.001)
+        self._shadow = EventTrace(profile, scale=0.001, seed=seed)
         self.profile = self._shadow.profile
         self.image = self._shadow.image
+        self._cache: OrderedDict[int, object] = OrderedDict()
+        self._packed_loopers: dict[int, object] = {}
 
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._index)
 
     def event(self, index: int):
-        return self.events[index]
+        cached = self._cache.get(index)
+        if cached is not None:
+            self._cache.move_to_end(index)
+            return cached
+        event = self._materialize(index)
+        self._cache[index] = event
+        if len(self._cache) > self._CACHE_CAPACITY:
+            self._cache.popitem(last=False)
+        return event
+
+    def _materialize(self, index: int):
+        from repro.workloads.generator import Event
+
+        rec = self._index[index]
+        true_stream = _read_stream(
+            io.BytesIO(self._data[rec.true_offset:
+                                  rec.true_offset + rec.true_length]),
+            rec.true_count)
+        if rec.spec_count:
+            spec_stream = _read_stream(
+                io.BytesIO(self._data[rec.spec_offset:
+                                      rec.spec_offset + rec.spec_length]),
+                rec.spec_count)
+        else:
+            spec_stream = true_stream
+        return Event(index, rec.handler_fid, (), true_stream, spec_stream,
+                     frozenset())
 
     def handler_fid(self, index: int) -> int:
-        return self.events[index].handler_fid
+        return self._index[index].handler_fid
 
     def looper_stream(self, index: int):
-        stream = list(self._shadow._build_looper_body())
         from repro.isa.instructions import INSTR_BYTES, KIND_IBRANCH
 
-        handler = self.events[index].handler_fid
+        stream = list(self._shadow._build_looper_body())
+        handler = self._index[index].handler_fid
         entry = self.image.function(handler).entry.addr
         dispatch_pc = stream[-1].pc + INSTR_BYTES
         stream.append(Instruction(dispatch_pc, KIND_IBRANCH, taken=True,
                                   target=entry))
         return stream
 
+    def packed_looper_stream(self, index: int):
+        """:meth:`looper_stream` in packed form, cached per handler."""
+        handler = self._index[index].handler_fid
+        packed = self._packed_loopers.get(handler)
+        if packed is None:
+            from repro.isa.stream import PackedStream
+
+            packed = PackedStream.from_instructions(
+                self.looper_stream(index))
+            self._packed_loopers[handler] = packed
+        return packed
+
 
 def load_trace(path: Path | str, profile=None) -> LoadedTrace:
     """Deserialise a trace written by :func:`dump_trace`.
 
-    ``profile`` supplies the :class:`~repro.workloads.AppProfile` when the
-    trace's app name is not one of the built-in registry entries.
+    Builds the event index in one skip-scan; stream decoding happens
+    lazily per event. ``profile`` supplies the
+    :class:`~repro.workloads.AppProfile` when the trace's app name is not
+    one of the built-in registry entries.
     """
-    from repro.workloads.generator import Event
-
-    data = io.BytesIO(Path(path).read_bytes())
+    payload = Path(path).read_bytes()
+    data = io.BytesIO(payload)
     if data.read(4) != MAGIC:
         raise ValueError("not an ESP trace file")
     version = _read_varint(data)
     if version != VERSION:
         raise ValueError(f"unsupported trace version {version}")
     name = data.read(_read_varint(data)).decode()
+    seed = _read_varint(data)
     n_events = _read_varint(data)
-    events = []
-    for index in range(n_events):
+    index: list[_EventIndex] = []
+    for _ in range(n_events):
         handler = _read_varint(data)
-        diverged = data.read(1) == b"\x01"
-        true_len = _read_varint(data)
-        spec_len = _read_varint(data)
-        true_stream = _read_stream(data, true_len)
-        if diverged:
-            spec_stream = _read_stream(data, spec_len)
-        else:
-            spec_stream = true_stream
-        events.append(Event(index, handler, (), true_stream, spec_stream,
-                            frozenset()))
-    return LoadedTrace(name, events, profile=profile)
+        flag = data.read(1)
+        if len(flag) != 1:
+            raise EOFError("truncated event header")
+        diverged = flag == b"\x01"
+        true_count = _read_varint(data)
+        spec_count = _read_varint(data)
+        true_length = _read_varint(data)
+        spec_length = _read_varint(data)
+        true_offset = data.tell()
+        spec_offset = true_offset + true_length
+        end = spec_offset + spec_length
+        if end > len(payload):
+            raise EOFError("truncated stream data")
+        if diverged != bool(spec_count):
+            raise ValueError("inconsistent divergence flag")
+        index.append(_EventIndex(handler, true_count, spec_count,
+                                 true_offset, true_length, spec_offset,
+                                 spec_length))
+        data.seek(end)
+    return LoadedTrace(name, seed, payload, index, profile=profile)

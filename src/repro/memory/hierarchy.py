@@ -130,8 +130,19 @@ class MemoryHierarchy:
         l1 = self.l1i if side == "i" else self.l1d
         if l1.lookup(block):
             return AccessResult(latency=0, llc_miss=False, l1_hit=True)
+        return self.miss_after_l1(side, block, cycle)
 
+    def miss_after_l1(self, side: str, block: int, cycle: int
+                      ) -> AccessResult:
+        """Continuation of :meth:`access` after an L1 demand miss.
+
+        The simulator's packed fast path performs the L1 lookup (recency +
+        stats update) inline and calls this only for the miss minority, so
+        the hit majority pays no function calls and no
+        :class:`AccessResult` allocation.
+        """
         # a pending prefetch may cover the miss, fully or partially
+        l1 = self.l1i if side == "i" else self.l1d
         residual = self._pending[side].consume(block, cycle)
         if residual is not None:
             l1.fill(block)

@@ -4,8 +4,21 @@ Every figure in the paper is a grid of simulation runs over the same seven
 applications. Several figures share underlying runs (e.g. the ``baseline``
 and ``esp_nl`` columns appear in Figures 9, 11 and 14), so the harness
 caches finished :class:`~repro.sim.results.SimResult` objects on disk keyed
-by ``(app, config digest, scale, seed)`` — regenerating one figure is cheap
-once its runs exist, and the full suite shares work.
+by ``(app, config digest, scale, seed, result-schema digest)`` —
+regenerating one figure is cheap once its runs exist, and the full suite
+shares work. The schema digest makes entries written by an older
+``SimResult`` layout self-invalidate instead of deserialising wrongly.
+
+Grids fan out over worker processes: ``REPRO_JOBS`` (or the ``jobs``
+constructor argument / ``--jobs`` CLI flag) sets the worker count, and
+:meth:`ExperimentRunner.run_many` distributes the missing (app, config)
+pairs over a :class:`~concurrent.futures.ProcessPoolExecutor`. Every
+simulation is a pure function of its key, so parallel results are
+bit-identical to serial ones; workers write the same on-disk caches
+atomically (write-to-temp + rename), making concurrent writers safe.
+Event traces are recorded once per (app, scale, seed) into the cache's
+``traces/`` directory using the :mod:`repro.isa.tracefile` format, so
+workers deserialise instead of regenerating them.
 
 Scaling: the environment variable ``REPRO_SCALE`` (default 1.0) multiplies
 every app's event count; ``REPRO_SEED`` changes the workload seed. The cache
@@ -18,17 +31,22 @@ from __future__ import annotations
 
 import json
 import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Iterable
 
+from repro.isa.tracefile import VERSION as TRACE_VERSION
+from repro.isa.tracefile import LoadedTrace, dump_trace, load_trace
 from repro.sim.config import SimConfig
-from repro.sim.results import SimResult
+from repro.sim.results import RESULT_SCHEMA, SimResult
 from repro.sim.simulator import Simulator
 from repro.workloads import APP_NAMES, EventTrace, get_app
 
 _CACHE_ENV = "REPRO_CACHE_DIR"
 _SCALE_ENV = "REPRO_SCALE"
 _SEED_ENV = "REPRO_SEED"
+_JOBS_ENV = "REPRO_JOBS"
 
 
 def default_scale() -> float:
@@ -41,11 +59,49 @@ def default_seed() -> int:
     return int(os.environ.get(_SEED_ENV, "0"))
 
 
+def default_jobs() -> int:
+    """Worker-process count from ``REPRO_JOBS`` (default 1 = serial)."""
+    try:
+        return max(1, int(os.environ.get(_JOBS_ENV, "1")))
+    except ValueError:
+        return 1
+
+
+def _is_writable(path: Path) -> bool:
+    """Whether ``path`` (or its nearest existing ancestor) is writable."""
+    probe = path
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            return False
+        probe = parent
+    return os.access(probe, os.W_OK)
+
+
 def default_cache_dir() -> Path:
-    """Result-cache directory (``REPRO_CACHE_DIR`` or ``.repro_cache``)."""
-    return Path(os.environ.get(_CACHE_ENV,
-                               Path(__file__).resolve().parents[3]
-                               / ".repro_cache"))
+    """Result-cache directory.
+
+    ``REPRO_CACHE_DIR`` when set; otherwise ``.repro_cache`` at the
+    repository root, falling back to the current working directory when
+    the checkout is read-only (installed packages, shared checkouts).
+    """
+    env = os.environ.get(_CACHE_ENV)
+    if env:
+        return Path(env)
+    repo_cache = Path(__file__).resolve().parents[3] / ".repro_cache"
+    if _is_writable(repo_cache):
+        return repo_cache
+    return Path.cwd() / ".repro_cache"
+
+
+def _run_remote(app: str, config: SimConfig, scale: float, seed: int,
+                cache_dir: str, use_disk_cache: bool) -> dict:
+    """Worker-process entry point: run one simulation, sharing the on-disk
+    caches with the parent (module-level so it pickles under fork and
+    spawn alike)."""
+    runner = ExperimentRunner(cache_dir=cache_dir, scale=scale, seed=seed,
+                              use_disk_cache=use_disk_cache, jobs=1)
+    return runner.run(app, config).to_dict()
 
 
 class ExperimentRunner:
@@ -53,40 +109,62 @@ class ExperimentRunner:
 
     def __init__(self, cache_dir: Path | str | None = None,
                  scale: float | None = None, seed: int | None = None,
-                 use_disk_cache: bool = True) -> None:
+                 use_disk_cache: bool = True,
+                 jobs: int | None = None) -> None:
         self.scale = default_scale() if scale is None else scale
         self.seed = default_seed() if seed is None else seed
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         self.use_disk_cache = use_disk_cache
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self._memory: dict[str, SimResult] = {}
-        self._traces: dict[str, EventTrace] = {}
+        self._traces: dict[str, EventTrace | LoadedTrace] = {}
 
     # -- trace reuse -----------------------------------------------------------
 
-    def trace(self, app: str) -> EventTrace:
+    def _trace_path(self, app: str) -> Path:
+        return (self.cache_dir / "traces" /
+                f"{app}-s{self.scale}-r{self.seed}-v{TRACE_VERSION}.espt")
+
+    def trace(self, app: str) -> EventTrace | LoadedTrace:
         """The (cached) event trace for ``app`` at this runner's scale.
 
-        Traces hold only lightweight per-event metadata (streams materialise
-        lazily), so keeping one per app is cheap and saves rebuild time
-        across configurations.
+        With the disk cache enabled, traces are recorded once per
+        (app, scale, seed) in :mod:`repro.isa.tracefile` format and
+        deserialised afterwards — generation costs one full CFG walk per
+        event, decoding costs a fraction of that, and parallel workers
+        share the recording. Corrupt or stale-version files regenerate.
         """
-        if app not in self._traces:
-            self._traces[app] = EventTrace(get_app(app), scale=self.scale,
-                                           seed=self.seed)
-        return self._traces[app]
+        cached = self._traces.get(app)
+        if cached is not None:
+            return cached
+        trace: EventTrace | LoadedTrace | None = None
+        path = self._trace_path(app)
+        if self.use_disk_cache and path.exists():
+            try:
+                trace = load_trace(path, profile=get_app(app))
+            except (ValueError, EOFError, OSError):
+                path.unlink(missing_ok=True)
+                trace = None
+        if trace is None:
+            trace = EventTrace(get_app(app), scale=self.scale,
+                               seed=self.seed)
+            if self.use_disk_cache:
+                try:
+                    path.parent.mkdir(parents=True, exist_ok=True)
+                    dump_trace(trace, path)
+                except OSError:
+                    pass  # a read-only cache just loses the speedup
+        self._traces[app] = trace
+        return trace
 
     # -- runs -----------------------------------------------------------------
 
     def _key(self, app: str, config: SimConfig) -> str:
-        return f"{app}-{config.cache_key()}-s{self.scale}-r{self.seed}"
+        return (f"{app}-{config.cache_key()}-s{self.scale}-r{self.seed}"
+                f"-{RESULT_SCHEMA}")
 
-    def run(self, app: str, config: SimConfig, **run_kwargs) -> SimResult:
-        """Run (or fetch from cache) one simulation."""
-        key = self._key(app, config)
-        if run_kwargs:
-            # non-default run options (e.g. warmup sweeps) bypass the cache
-            return self._simulate(app, config, **run_kwargs)
+    def _load_cached(self, key: str) -> SimResult | None:
         cached = self._memory.get(key)
         if cached is not None:
             return cached
@@ -100,12 +178,31 @@ class ExperimentRunner:
                     return result
                 except (json.JSONDecodeError, TypeError, KeyError):
                     path.unlink(missing_ok=True)
-        result = self._simulate(app, config)
+        return None
+
+    def _store(self, key: str, result: SimResult) -> None:
         self._memory[key] = result
         if self.use_disk_cache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             path = self.cache_dir / f"{key}.json"
-            path.write_text(json.dumps(result.to_dict()))
+            # write-to-temp + atomic rename: concurrent writers of the
+            # same key each land a complete file, readers never see a
+            # partial one (keys contain dots, so no with_suffix here)
+            tmp = path.parent / (path.name + f".{os.getpid()}.tmp")
+            tmp.write_text(json.dumps(result.to_dict()))
+            os.replace(tmp, path)
+
+    def run(self, app: str, config: SimConfig, **run_kwargs) -> SimResult:
+        """Run (or fetch from cache) one simulation."""
+        if run_kwargs:
+            # non-default run options (e.g. warmup sweeps) bypass the cache
+            return self._simulate(app, config, **run_kwargs)
+        key = self._key(app, config)
+        cached = self._load_cached(key)
+        if cached is not None:
+            return cached
+        result = self._simulate(app, config)
+        self._store(key, result)
         return result
 
     def _simulate(self, app: str, config: SimConfig,
@@ -116,18 +213,96 @@ class ExperimentRunner:
         result.config = config.name
         return result
 
+    # -- parallel fan-out -----------------------------------------------------
+
+    def run_many(self, pairs: Iterable[tuple[str, SimConfig]]
+                 ) -> list[SimResult]:
+        """Run every (app, config) pair, fanning uncached ones over
+        ``self.jobs`` worker processes.
+
+        Results come back in ``pairs`` order and are bit-identical to
+        serial runs: each simulation is a pure function of its key, and
+        workers share the parent's on-disk caches via atomic writes. If
+        the platform cannot spawn worker processes (restricted sandboxes),
+        the batch silently degrades to serial execution; worker-side
+        simulation errors propagate unchanged.
+        """
+        pairs = list(pairs)
+        results: dict[str, SimResult] = {}
+        todo: list[tuple[str, str, SimConfig]] = []
+        queued: set[str] = set()
+        for app, config in pairs:
+            key = self._key(app, config)
+            if key in queued or key in results:
+                continue
+            cached = self._load_cached(key)
+            if cached is not None:
+                results[key] = cached
+            else:
+                queued.add(key)
+                todo.append((key, app, config))
+        if todo and self.jobs > 1:
+            # record the traces before forking so workers load instead of
+            # each regenerating the same apps
+            if self.use_disk_cache:
+                for app in {app for _, app, _ in todo}:
+                    self.trace(app)
+            done = self._run_parallel(todo, results)
+            todo = todo[done:]
+        for key, app, config in todo:
+            results[key] = self.run(app, config)
+        return [results[self._key(app, config)] for app, config in pairs]
+
+    def _run_parallel(self, todo: list[tuple[str, str, SimConfig]],
+                      results: dict[str, SimResult]) -> int:
+        """Execute ``todo`` on a process pool, filling ``results``.
+
+        Returns how many entries completed (a prefix count); anything
+        beyond it falls back to the caller's serial loop. Pool-creation
+        and pool-breakage errors trigger the fallback — simulation errors
+        raised inside a worker do not, they propagate.
+        """
+        try:
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(todo)))
+        except (OSError, PermissionError, ValueError):
+            return 0
+        try:
+            with pool:
+                futures = [
+                    pool.submit(_run_remote, app, config, self.scale,
+                                self.seed, str(self.cache_dir),
+                                self.use_disk_cache)
+                    for _, app, config in todo]
+                for (key, _, _), future in zip(todo, futures):
+                    result = SimResult.from_dict(future.result())
+                    self._memory[key] = result
+                    results[key] = result
+        except BrokenProcessPool:
+            # a worker died without raising (killed / unspawnable): run
+            # whatever is missing serially rather than failing the batch
+            return sum(1 for key, _, _ in todo if key in results)
+        return len(todo)
+
     def grid(self, configs: Iterable[SimConfig],
              apps: Iterable[str] = APP_NAMES
              ) -> dict[str, dict[str, SimResult]]:
         """Run a full (config × app) grid: ``{config.name: {app: result}}``."""
-        out: dict[str, dict[str, SimResult]] = {}
+        configs = list(configs)
         apps = list(apps)
+        flat = self.run_many(
+            [(app, config) for config in configs for app in apps])
+        out: dict[str, dict[str, SimResult]] = {}
+        it = iter(flat)
         for config in configs:
-            out[config.name] = {app: self.run(app, config) for app in apps}
+            out[config.name] = {app: next(it) for app in apps}
         return out
 
     def clear_cache(self) -> None:
         self._memory.clear()
+        self._traces.clear()
         if self.cache_dir.exists():
             for path in self.cache_dir.glob("*.json"):
+                path.unlink()
+            for path in self.cache_dir.glob("traces/*.espt"):
                 path.unlink()

@@ -62,10 +62,20 @@ def _apps(apps):
     return tuple(apps) if apps is not None else tuple(APP_NAMES)
 
 
+def _prewarm(runner: ExperimentRunner, config_names: list[str],
+             apps) -> None:
+    """Fan every (app, config) pair the figure needs over the runner's
+    worker processes; the figure's own ``runner.run`` calls then hit the
+    warmed cache."""
+    configs = [presets.by_name(name) for name in config_names]
+    runner.run_many([(app, cfg) for cfg in configs for app in apps])
+
+
 def _improvements(runner: ExperimentRunner, baseline_name: str,
                   config_names: list[str],
                   apps=None) -> dict[str, dict[str, float]]:
     apps = _apps(apps)
+    _prewarm(runner, [baseline_name] + list(config_names), apps)
     base_cfg = presets.by_name(baseline_name)
     series: dict[str, dict[str, float]] = {}
     base = {app: runner.run(app, base_cfg) for app in apps}
@@ -190,6 +200,7 @@ def figure11a(runner: ExperimentRunner, apps=None) -> FigureResult:
     """L1-I MPKI across I-side configurations."""
     apps = _apps(apps)
     names = ["baseline", "nl_i", "esp_i", "esp_i_nl_i", "ideal_esp_i_nl_i"]
+    _prewarm(runner, names, apps)
     series: dict[str, dict[str, float]] = {}
     for name in names:
         cfg = presets.by_name(name)
@@ -211,6 +222,7 @@ def figure11b(runner: ExperimentRunner, apps=None) -> FigureResult:
     apps = _apps(apps)
     names = ["baseline", "nl_d", "runahead_d", "runahead_d_nl_d", "esp_d",
              "esp_d_nl_d", "ideal_esp_d_nl_d"]
+    _prewarm(runner, names, apps)
     series: dict[str, dict[str, float]] = {}
     for name in names:
         cfg = presets.by_name(name)
@@ -235,6 +247,7 @@ def figure12(runner: ExperimentRunner, apps=None) -> FigureResult:
     apps = _apps(apps)
     names = ["bp_base", "bp_no_extra_hw", "bp_separate_context",
              "bp_separate_tables", "bp_esp"]
+    _prewarm(runner, names, apps)
     series: dict[str, dict[str, float]] = {}
     for name in names:
         cfg = presets.by_name(name)
@@ -311,6 +324,7 @@ def figure13(runner: ExperimentRunner, depth: int = 8,
 def figure14(runner: ExperimentRunner, apps=None) -> FigureResult:
     """ESP energy relative to the NL baseline, plus extra instructions."""
     apps = _apps(apps)
+    _prewarm(runner, ["nl", "esp_nl"], apps)
     nl_cfg = presets.nl()
     esp_cfg = presets.esp_nl()
     energy: dict[str, float] = {}
@@ -338,6 +352,7 @@ def figure14(runner: ExperimentRunner, apps=None) -> FigureResult:
 def headline(runner: ExperimentRunner, apps=None) -> FigureResult:
     """The abstract's claims: ESP +16% over NL+S baseline; runahead +6.4%."""
     apps = _apps(apps)
+    _prewarm(runner, ["nl_s", "esp_nl", "runahead_nl"], apps)
     nl_s = presets.nl_s()
     series: dict[str, dict[str, float]] = {
         "ESP + NL over NL + S": {}, "Runahead + NL over NL + S": {}}
@@ -374,6 +389,10 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
 
         python -m repro.sim.figures figure9 figure12
         python -m repro.sim.figures --json figure9
+        python -m repro.sim.figures --jobs 4 figure9
+
+    ``--jobs N`` (or ``REPRO_JOBS``) fans the underlying simulations over
+    N worker processes.
     """
     import json
     import sys
@@ -382,8 +401,16 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
     as_json = "--json" in args
     if as_json:
         args.remove("--json")
+    jobs = None
+    if "--jobs" in args:
+        at = args.index("--jobs")
+        try:
+            jobs = int(args[at + 1])
+        except (IndexError, ValueError):
+            raise SystemExit("--jobs requires an integer argument")
+        del args[at:at + 2]
     wanted = args or list(ALL_FIGURES)
-    runner = ExperimentRunner()
+    runner = ExperimentRunner(jobs=jobs)
     for name in wanted:
         figure = ALL_FIGURES[name](runner)
         if as_json:

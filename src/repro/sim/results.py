@@ -9,7 +9,8 @@ MPKI (Figure 11a), L1-D miss rate (Figure 11b), branch misprediction rate
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+import hashlib
+from dataclasses import asdict, dataclass, field, fields
 
 
 @dataclass
@@ -174,3 +175,20 @@ class SimResult:
         esp = EspStats(**data.pop("esp", {}))
         energy = EnergyBreakdown(**data.pop("energy", {}))
         return cls(esp=esp, energy=energy, **data)
+
+
+def _schema_digest() -> str:
+    """Digest of the result record's field layout.
+
+    Baked into on-disk cache keys so entries written by an older code
+    version — which would fail or, worse, silently misreport after a field
+    rename — self-invalidate instead of being deserialised.
+    """
+    spec = ";".join(
+        f"{cls.__name__}:" + ",".join(f.name for f in fields(cls))
+        for cls in (SimResult, EspStats, EnergyBreakdown))
+    return hashlib.sha256(spec.encode()).hexdigest()[:8]
+
+
+#: schema tag for :mod:`repro.sim.experiments` cache keys
+RESULT_SCHEMA = _schema_digest()

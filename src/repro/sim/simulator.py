@@ -14,6 +14,14 @@ interval model described in ``DESIGN.md``:
 * mispredicted branches pay the 15-cycle flush, BTB misses on unconditional
   direct branches a short decode bubble.
 
+The per-instruction loop has two implementations that produce bit-identical
+results: the *object path* walks ``list[Instruction]`` streams, and the
+*packed path* (the default whenever runahead is off) walks
+:class:`~repro.isa.stream.PackedStream` struct-of-arrays with locals-bound
+counters — roughly half the interpreter overhead per retired instruction.
+``use_packed=False`` forces the object path (the compatibility reference,
+and what the equivalence tests compare against).
+
 Exposed LLC-miss stalls are handed to the configured side path — the ESP
 controller (pre-execute queued events) or the runahead controller
 (pre-execute the same stream) — which spends the idle cycles gathering
@@ -39,6 +47,7 @@ from repro.isa.instructions import (
     KIND_RETURN,
     KIND_STORE,
 )
+from repro.isa.stream import PackedStream
 from repro.memory import MemoryHierarchy
 from repro.prefetch import (
     DcuPrefetcher,
@@ -59,17 +68,24 @@ class Simulator:
 
     def __init__(self, trace: EventTrace | AppProfile, config: SimConfig,
                  scale: float = 1.0, seed: int = 0,
-                 schedule=None) -> None:
+                 schedule=None, use_packed: bool | None = None) -> None:
         """``schedule`` (an :class:`~repro.runtime.ExecutionSchedule`)
         replays the trace's events in an arbitrary runtime-decided order
         with explicit next-event predictions — the multi-queue extension of
         Section 4.5. Omitted: in-order execution with perfect prediction.
+
+        ``use_packed`` selects the hot-loop implementation: ``None`` (auto)
+        takes the packed fast path whenever the configuration allows it,
+        ``False`` forces the object-stream compatibility path. Runahead
+        always uses the object path — its pre-execution consumes the
+        remainder of the live ``Instruction`` stream.
         """
         if isinstance(trace, AppProfile):
             trace = EventTrace(trace, scale=scale, seed=seed)
         self.trace = trace
         self.schedule = schedule
         self.config = config
+        self.use_packed = use_packed
         self.hierarchy = MemoryHierarchy(config.memory)
         self.predictor = PentiumMPredictor(config.branch)
         self.result = SimResult(app=trace.profile.name, config=config.name)
@@ -95,6 +111,11 @@ class Simulator:
             def handler_addr(index: int) -> int:
                 return image.function(trace.handler_fid(index)).entry.addr
 
+            def spec_stream(index: int):
+                event = trace.event(index)
+                packer = getattr(event, "packed_spec", None)
+                return packer() if packer is not None else event.spec_stream
+
             predicted_provider = None
             if schedule is not None:
                 depth = config.esp.depth
@@ -104,7 +125,7 @@ class Simulator:
 
             self.esp = EspController(
                 config, self.hierarchy, self.predictor, self.result.esp,
-                spec_stream_provider=lambda k: trace.event(k).spec_stream,
+                spec_stream_provider=spec_stream,
                 handler_addr_provider=handler_addr,
                 n_events=len(trace),
                 predicted_provider=predicted_provider)
@@ -200,6 +221,12 @@ class Simulator:
         warmup_events = min(max(4, round(n_events * warmup_fraction)),
                             max(0, n_events - 1))
 
+        # the packed fast path covers every configuration except runahead,
+        # whose pre-execution walks the live object stream from the stall
+        # point onwards
+        fast_path = self.use_packed is not False and runahead is None
+        packed_looper_of = getattr(trace, "packed_looper_stream", None)
+
         cycle = 0.0
         cycle_offset = 0.0
         cur_block = -1
@@ -219,13 +246,43 @@ class Simulator:
             event = trace.event(k)
             if event.diverged:
                 result.esp.diverged_events += 1
-            looper = trace.looper_stream(k)
-            icount = -len(looper)
-            event_branches = 0
             wset_i: set[int] | None = set() if self.collect_working_sets \
                 else None
             wset_d: set[int] | None = set() if self.collect_working_sets \
                 else None
+
+            if fast_path:
+                packer = getattr(event, "packed_true", None)
+                packed_true = packer() if packer is not None \
+                    else PackedStream.from_instructions(event.true_stream)
+                packed_looper = packed_looper_of(k) \
+                    if packed_looper_of is not None \
+                    else PackedStream.from_instructions(
+                        trace.looper_stream(k))
+                cycle, cur_block = self._run_streams_packed(
+                    (packed_looper, packed_true), cycle, cur_block,
+                    wset_i, wset_d)
+                result.events += 1
+                if self.collect_event_profile and position >= warmup_events:
+                    self.event_profiles.append(EventProfile(
+                        event_index=k,
+                        instructions=result.instructions - event_start[1],
+                        cycles=cycle - event_start[0],
+                        stall_ifetch=result.stall_ifetch - event_start[2],
+                        stall_data=result.stall_data - event_start[3],
+                        stall_branch=result.stall_branch - event_start[4],
+                        hinted=replay.active if replay is not None
+                        else False))
+                if wset_i is not None:
+                    self.normal_i_working_sets.append(len(wset_i))
+                    self.normal_d_working_sets.append(len(wset_d))
+                if esp is not None:
+                    esp.finish_event()
+                continue
+
+            looper = trace.looper_stream(k)
+            icount = -len(looper)
+            event_branches = 0
 
             for stream in (looper, event.true_stream):
                 pos = 0
@@ -373,6 +430,243 @@ class Simulator:
 
         result.energy = compute_energy(result, config)
         return result
+
+    # -- packed fast path --------------------------------------------------------
+
+    def _run_streams_packed(self, streams, cycle: float, cur_block: int,
+                            wset_i: set | None, wset_d: set | None
+                            ) -> tuple[float, int]:
+        """Execute one event's (looper, true) streams in packed form.
+
+        Mirrors the object loop in :meth:`run` operation for operation —
+        including floating-point accumulation order — so results are
+        bit-identical. Counters are bound to locals and written back to the
+        result once per event; ``streams`` is a (packed looper, packed true
+        stream) pair. Returns the updated ``(cycle, cur_block)``.
+        """
+        config = self.config
+        core = config.core
+        result = self.result
+        hierarchy = self.hierarchy
+        stall_model = self.stall_model
+        esp = self.esp
+        replay = esp.replay if esp is not None else None
+        nl_i, dcu, stride = self.nl_i, self.dcu, self.stride
+        efetch, pif = self.efetch, self.pif
+
+        perfect = config.perfect
+        perfect_i = perfect.l1i
+        perfect_d = perfect.l1d
+        perfect_b = perfect.branch
+
+        base_cpi = core.base_cpi
+        fetch_hide = core.fetch_hide_cycles
+        long_latency = hierarchy.l2_latency
+        mispredict_penalty = core.mispredict_penalty
+        bubble_penalty = core.btb_bubble_penalty
+        issue_prefetch = hierarchy.prefetch
+        exposed_of = stall_model.exposed
+        execute_branch = self.predictor.execute_branch
+
+        # the L1 demand lookup (recency + stats, per SetAssocCache.lookup)
+        # is inlined below so the hit majority costs one set probe and no
+        # AccessResult; misses continue in MemoryHierarchy.miss_after_l1.
+        # Nothing else touches the L1 demand counters inside an event (ESP
+        # pre-execution probes via contains() and fills via fill()), so
+        # they are locals here and written back with the rest.
+        l1i = hierarchy.l1i
+        l1i_sets = l1i._sets
+        l1i_nsets = l1i.num_sets
+        l1d = hierarchy.l1d
+        l1d_sets = l1d._sets
+        l1d_nsets = l1d.num_sets
+        miss_after_l1 = hierarchy.miss_after_l1
+        l1i_stats = l1i.stats
+        l1d_stats = l1d.stats
+        c1i_accesses = l1i_stats.accesses
+        c1i_misses = l1i_stats.misses
+        c1d_accesses = l1d_stats.accesses
+        c1d_misses = l1d_stats.misses
+
+        # NextLineIPrefetcher.observe / DcuPrefetcher.observe are inlined
+        # below (same transitions, no per-access call or list); their state
+        # is only ever advanced by this loop, so the DCU streak lives in
+        # locals until the write-back
+        nl_i_degree = nl_i.degree if nl_i is not None else 0
+        if dcu is not None:
+            dcu_trigger = dcu.trigger
+            dcu_streak_block = dcu._streak_block
+            dcu_streak = dcu._streak
+            dcu_armed_for = dcu._armed_for
+
+        instructions = result.instructions
+        l1i_accesses = result.l1i_accesses
+        l1i_misses = result.l1i_misses
+        llc_i_misses = result.llc_i_misses
+        stall_ifetch = result.stall_ifetch
+        l1d_accesses = result.l1d_accesses
+        l1d_misses = result.l1d_misses
+        llc_d_misses = result.llc_d_misses
+        stall_data = result.stall_data
+        branches = result.branches
+        branch_mispredicts = result.branch_mispredicts
+        stall_branch = result.stall_branch
+        event_branches = 0
+        # the object loop's per-instruction counter starts at -len(looper);
+        # here it is derived from the retired-instruction count on demand
+        icount_base = instructions + len(streams[0])
+
+        for packed in streams:
+            pcs = packed.pc
+            kinds = packed.kind
+            addrs = packed.addr
+            takens = packed.taken
+            targets = packed.target
+
+            for pos, block in enumerate(packed.block):
+                instructions += 1
+                cycle += base_cpi
+
+                # ---- instruction fetch ----
+                if block != cur_block:
+                    cur_block = block
+                    if wset_i is not None:
+                        wset_i.add(block)
+                    if replay is not None:
+                        replay.poll(instructions - icount_base, int(cycle))
+                    if not perfect_i:
+                        l1i_accesses += 1
+                        c1i_accesses += 1
+                        cache_set = l1i_sets[block % l1i_nsets]
+                        if block in cache_set:
+                            cache_set.move_to_end(block)
+                        else:
+                            c1i_misses += 1
+                            res = miss_after_l1("i", block, int(cycle))
+                            if not (res.prefetched and res.latency == 0):
+                                l1i_misses += 1
+                                exposed = res.latency - fetch_hide
+                                if exposed > 0:
+                                    cycle += exposed
+                                    stall_ifetch += exposed
+                                    if res.llc_miss:
+                                        llc_i_misses += 1
+                                    if res.llc_miss or \
+                                            res.latency > long_latency:
+                                        if esp is not None:
+                                            esp.on_stall(int(cycle),
+                                                         exposed)
+                        if nl_i is not None \
+                                and block != nl_i._last_block:
+                            nl_i._last_block = block
+                            pb = block
+                            for _ in range(nl_i_degree):
+                                pb += 1
+                                issue_prefetch("i", pb, int(cycle))
+                        if pif is not None:
+                            for pb in pif.observe(pcs[pos], block):
+                                issue_prefetch("i", pb, int(cycle))
+                        if efetch is not None:
+                            efetch.observe(pcs[pos], block)
+
+                kind = kinds[pos]
+                if kind == KIND_ALU:
+                    continue
+
+                # ---- data access ----
+                if kind == KIND_LOAD or kind == KIND_STORE:
+                    dblock = addrs[pos] >> BLOCK_SHIFT
+                    if wset_d is not None:
+                        wset_d.add(dblock)
+                    l1d_accesses += 1
+                    if not perfect_d:
+                        c1d_accesses += 1
+                        cache_set = l1d_sets[dblock % l1d_nsets]
+                        if dblock in cache_set:
+                            cache_set.move_to_end(dblock)
+                        else:
+                            c1d_misses += 1
+                            res = miss_after_l1("d", dblock, int(cycle))
+                            if not (res.prefetched
+                                    and res.latency == 0):
+                                l1d_misses += 1
+                                long_stall = res.llc_miss or \
+                                    res.latency > long_latency
+                                exposed = exposed_of(
+                                    instructions, cycle, res.latency,
+                                    long_stall)
+                                if exposed > 0:
+                                    cycle += exposed
+                                    stall_data += exposed
+                                if res.llc_miss:
+                                    llc_d_misses += 1
+                                if long_stall and exposed > 0 \
+                                        and esp is not None:
+                                    esp.on_stall(int(cycle), exposed)
+                        if dcu is not None:
+                            if dblock == dcu_streak_block:
+                                dcu_streak += 1
+                            else:
+                                dcu_streak_block = dblock
+                                dcu_streak = 1
+                            if dcu_streak == dcu_trigger \
+                                    and dcu_armed_for != dblock:
+                                dcu_armed_for = dblock
+                                issue_prefetch("d", dblock + 1,
+                                               int(cycle))
+                        if stride is not None:
+                            for pb in stride.observe(pcs[pos], addrs[pos]):
+                                issue_prefetch("d", pb, int(cycle))
+                    continue
+
+                # ---- control flow ----
+                branches += 1
+                if perfect_b:
+                    continue
+                if kind == KIND_BRANCH or kind == KIND_IBRANCH:
+                    event_branches += 1
+                    if replay is not None:
+                        replay.before_branch(event_branches)
+                taken = takens[pos]
+                if efetch is not None:
+                    if kind == KIND_CALL or (kind == KIND_IBRANCH
+                                             and taken):
+                        for pb in efetch.on_call(targets[pos]):
+                            issue_prefetch("i", pb, int(cycle))
+                    elif kind == KIND_RETURN:
+                        for pb in efetch.on_return():
+                            issue_prefetch("i", pb, int(cycle))
+                outcome = execute_branch(pcs[pos], kind, taken,
+                                         targets[pos])
+                if outcome.mispredicted:
+                    branch_mispredicts += 1
+                    cycle += mispredict_penalty
+                    stall_branch += mispredict_penalty
+                elif outcome.minor_bubble:
+                    cycle += bubble_penalty
+                    stall_branch += bubble_penalty
+
+        l1i_stats.accesses = c1i_accesses
+        l1i_stats.misses = c1i_misses
+        l1d_stats.accesses = c1d_accesses
+        l1d_stats.misses = c1d_misses
+        if dcu is not None:
+            dcu._streak_block = dcu_streak_block
+            dcu._streak = dcu_streak
+            dcu._armed_for = dcu_armed_for
+        result.instructions = instructions
+        result.l1i_accesses = l1i_accesses
+        result.l1i_misses = l1i_misses
+        result.llc_i_misses = llc_i_misses
+        result.stall_ifetch = stall_ifetch
+        result.l1d_accesses = l1d_accesses
+        result.l1d_misses = l1d_misses
+        result.llc_d_misses = llc_d_misses
+        result.stall_data = stall_data
+        result.branches = branches
+        result.branch_mispredicts = branch_mispredicts
+        result.stall_branch = stall_branch
+        return cycle, cur_block
 
 
 def simulate(app: str | AppProfile, config: SimConfig, scale: float = 1.0,

@@ -83,14 +83,21 @@ class ParameterSweep:
     def run(self, runner: ExperimentRunner,
             apps: Iterable[str]) -> SweepResult:
         apps = list(apps)
-        base_results = {app: runner.run(app, self.baseline) for app in apps}
-        sweep = SweepResult(knob=self.knob)
+        # build every point's config up front so the whole sweep fans out
+        # over the runner's worker processes in one batch
+        configs: list[SimConfig] = []
         for value in self.values:
             config = self.vary(self.base, value)
             if not isinstance(config, SimConfig):
                 raise TypeError("vary() must return a SimConfig")
-            config = config.replace(name=f"{self.base.name}"
-                                         f"[{self.knob}={value}]")
+            configs.append(config.replace(
+                name=f"{self.base.name}[{self.knob}={value}]"))
+        runner.run_many([(app, cfg)
+                         for cfg in [self.baseline] + configs
+                         for app in apps])
+        base_results = {app: runner.run(app, self.baseline) for app in apps}
+        sweep = SweepResult(knob=self.knob)
+        for value, config in zip(self.values, configs):
             results = {app: runner.run(app, config) for app in apps}
             improvements = {
                 app: results[app].improvement_over(base_results[app])

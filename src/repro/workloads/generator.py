@@ -48,6 +48,7 @@ from repro.workloads.codebase import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.isa.stream import PackedStream
     from repro.workloads.apps import AppProfile
 
 # Data address-space layout (byte addresses).
@@ -74,7 +75,8 @@ class Event:
     """One asynchronous event: its true and speculative streams."""
 
     __slots__ = ("index", "handler_fid", "writes", "true_stream",
-                 "spec_stream", "state_reads")
+                 "spec_stream", "state_reads", "_packed_true",
+                 "_packed_spec")
 
     def __init__(self, index: int, handler_fid: int, writes: tuple[int, ...],
                  true_stream: list[Instruction],
@@ -86,6 +88,34 @@ class Event:
         self.true_stream = true_stream
         self.spec_stream = spec_stream
         self.state_reads = state_reads
+        self._packed_true = None
+        self._packed_spec = None
+
+    def packed_true(self) -> "PackedStream":
+        """The true stream's struct-of-arrays packing, built lazily and
+        cached for the event's lifetime so every configuration simulated
+        against this trace shares it."""
+        packed = self._packed_true
+        if packed is None or len(packed) != len(self.true_stream):
+            from repro.isa.stream import PackedStream
+
+            packed = PackedStream.from_instructions(self.true_stream)
+            self._packed_true = packed
+        return packed
+
+    def packed_spec(self) -> "PackedStream":
+        """The speculative stream's packing (what ESP pre-execution
+        consumes). Shares :meth:`packed_true`'s packing for the >99 % of
+        events whose speculation does not diverge."""
+        if self.spec_stream is self.true_stream:
+            return self.packed_true()
+        packed = self._packed_spec
+        if packed is None or len(packed) != len(self.spec_stream):
+            from repro.isa.stream import PackedStream
+
+            packed = PackedStream.from_instructions(self.spec_stream)
+            self._packed_spec = packed
+        return packed
 
     @property
     def diverged(self) -> bool:
@@ -399,6 +429,9 @@ class EventTrace:
         self._cache: OrderedDict[int, Event] = OrderedDict()
         self._cache_capacity = 8
         self._looper_stream: list[Instruction] | None = None
+        #: per-handler packed looper streams (body + dispatch); handlers
+        #: repeat constantly, so these are built once each
+        self._packed_loopers: dict[int, object] = {}
 
     def __len__(self) -> int:
         return self.n_events
@@ -472,6 +505,18 @@ class EventTrace:
         stream.append(Instruction(dispatch_pc, KIND_IBRANCH, taken=True,
                                   target=handler_entry))
         return stream
+
+    def packed_looper_stream(self, index: int) -> "PackedStream":
+        """:meth:`looper_stream` in packed form, cached per handler."""
+        handler = self._handler_of[index]
+        packed = self._packed_loopers.get(handler)
+        if packed is None:
+            from repro.isa.stream import PackedStream
+
+            packed = PackedStream.from_instructions(
+                self.looper_stream(index))
+            self._packed_loopers[handler] = packed
+        return packed
 
     def _build_looper_body(self) -> list[Instruction]:
         looper = self.image.function(self.image.looper_fid)

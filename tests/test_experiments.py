@@ -1,10 +1,14 @@
 """Tests for the experiment runner and its result cache."""
 
+import os
+from pathlib import Path
+
 import pytest
 
 from repro.sim import presets
-from repro.sim.experiments import ExperimentRunner
+from repro.sim.experiments import ExperimentRunner, default_cache_dir
 from repro.sim.config import SimConfig
+from repro.sim.results import RESULT_SCHEMA
 
 
 @pytest.fixture
@@ -86,3 +90,88 @@ class TestRunner:
     def test_result_config_named_after_preset(self, runner):
         r = runner.run("pixlr", presets.nl())
         assert r.config == "NL"
+
+
+class TestCacheKeySchema:
+    def test_key_includes_schema_digest(self, runner):
+        assert runner._key("pixlr", SimConfig()).endswith(RESULT_SCHEMA)
+
+    def test_stale_schema_entries_invisible(self, runner, tmp_path,
+                                            monkeypatch):
+        a = runner.run("pixlr", SimConfig())
+        old_key = runner._key("pixlr", SimConfig())
+        # a different SimResult layout produces a different digest, so
+        # old entries simply stop matching instead of deserialising wrongly
+        monkeypatch.setattr("repro.sim.experiments.RESULT_SCHEMA",
+                            "00000000")
+        fresh = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        key = fresh._key("pixlr", SimConfig())
+        assert key != old_key
+        assert fresh._load_cached(key) is None
+        b = fresh.run("pixlr", SimConfig())
+        assert b.to_dict() == a.to_dict()
+
+
+class TestDefaultCacheDir:
+    def test_env_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+
+    def test_repo_root_when_writable(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        import repro.sim.experiments as mod
+        repo_root = Path(mod.__file__).resolve().parents[3]
+        assert default_cache_dir() == repo_root / ".repro_cache"
+
+    def test_falls_back_to_cwd_when_readonly(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setattr(os, "access", lambda *a, **k: False)
+        assert default_cache_dir() == tmp_path / ".repro_cache"
+
+
+class TestTraceCache:
+    def test_trace_recorded_and_reloaded(self, tmp_path):
+        from repro.isa.tracefile import LoadedTrace
+
+        first = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        generated = first.trace("pixlr")
+        files = list((tmp_path / "traces").glob("pixlr-*.espt"))
+        assert len(files) == 1
+        second = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        loaded = second.trace("pixlr")
+        assert isinstance(loaded, LoadedTrace)
+        assert len(loaded) == len(generated)
+        for k in range(len(loaded)):
+            assert (loaded.event(k).true_stream
+                    == generated.event(k).true_stream)
+
+    def test_loaded_trace_results_identical(self, tmp_path):
+        first = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        a = first.run("pixlr", presets.esp_nl())  # generated trace
+        for path in tmp_path.glob("*.json"):
+            path.unlink()  # drop results, keep the recorded trace
+        from repro.isa.tracefile import LoadedTrace
+
+        fresh = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        assert isinstance(fresh.trace("pixlr"), LoadedTrace)
+        b = fresh.run("pixlr", presets.esp_nl())
+        assert a.to_dict() == b.to_dict()
+
+    def test_corrupt_trace_file_regenerates(self, tmp_path):
+        first = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        first.trace("pixlr")
+        (trace_file,) = (tmp_path / "traces").glob("pixlr-*.espt")
+        trace_file.write_bytes(b"ESPTgarbage")
+        fresh = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        trace = fresh.trace("pixlr")
+        assert len(trace) > 0
+        # the corrupt file was replaced with a good recording
+        (rewritten,) = (tmp_path / "traces").glob("pixlr-*.espt")
+        assert rewritten.read_bytes() != b"ESPTgarbage"
+
+    def test_disk_cache_disabled_skips_recording(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  use_disk_cache=False)
+        runner.trace("pixlr")
+        assert not (tmp_path / "traces").exists()

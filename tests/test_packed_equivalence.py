@@ -1,0 +1,136 @@
+"""Packed fast path vs object compatibility path: bit-identical results.
+
+The simulator's hot loop has two implementations (see
+``repro.sim.simulator``): the object path walking ``list[Instruction]``
+and the packed path walking :class:`~repro.isa.stream.PackedStream`
+struct-of-arrays. These tests pin the contract that the two are
+*bit-identical* — same cycles (floating-point accumulation order
+included), same counters, same ESP statistics — for every preset.
+"""
+
+import pytest
+
+from repro.isa.instructions import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_LOAD,
+    Instruction,
+)
+from repro.isa.stream import PackedStream
+from repro.sim import presets
+from repro.sim.simulator import Simulator
+from repro.workloads import get_app
+from repro.workloads.generator import EventTrace
+
+
+class TestPackedStream:
+    def _sample(self):
+        return [
+            Instruction(0x1000, KIND_ALU),
+            Instruction(0x1004, KIND_LOAD, addr=0x2000_0040),
+            Instruction(0x1008, KIND_BRANCH, taken=True, target=0x1100),
+        ]
+
+    def test_roundtrip(self):
+        stream = self._sample()
+        packed = PackedStream.from_instructions(stream)
+        assert len(packed) == len(stream)
+        assert packed.to_instructions() == stream
+
+    def test_blocks_precomputed(self):
+        packed = PackedStream.from_instructions(self._sample())
+        assert packed.block == tuple(pc >> 6 for pc in packed.pc)
+
+    def test_instruction_accessor(self):
+        stream = self._sample()
+        packed = PackedStream.from_instructions(stream)
+        assert packed.instruction(1) == stream[1]
+
+    def test_equality_and_hash(self):
+        a = PackedStream.from_instructions(self._sample())
+        b = PackedStream.from_instructions(self._sample())
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_concat(self):
+        stream = self._sample()
+        packed = PackedStream.from_instructions(stream)
+        joined = packed.concat(packed)
+        assert joined.to_instructions() == stream + stream
+
+    def test_unequal_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PackedStream(pc=(0x1000,), kind=())
+
+
+class TestEventPacking:
+    def test_packed_true_cached(self, tiny_trace):
+        event = tiny_trace.event(0)
+        assert event.packed_true() is event.packed_true()
+        assert event.packed_true().to_instructions() == event.true_stream
+
+    def test_packed_spec_shares_when_not_diverged(self, tiny_trace):
+        for k in range(len(tiny_trace)):
+            event = tiny_trace.event(k)
+            packed = event.packed_spec()
+            assert packed.to_instructions() == event.spec_stream
+            if not event.diverged:
+                assert packed is event.packed_true()
+
+    def test_packed_looper_cached_per_handler(self, tiny_trace):
+        packed = tiny_trace.packed_looper_stream(0)
+        assert packed.to_instructions() == tiny_trace.looper_stream(0)
+        same_handler = [k for k in range(len(tiny_trace))
+                        if tiny_trace.handler_fid(k)
+                        == tiny_trace.handler_fid(0)]
+        for k in same_handler:
+            assert tiny_trace.packed_looper_stream(k) is packed
+
+
+def _run_pair(trace_factory, config):
+    obj = Simulator(trace_factory(), config, use_packed=False).run()
+    packed = Simulator(trace_factory(), config).run()
+    return obj, packed
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("preset", presets.preset_names())
+    def test_every_preset_tiny_app(self, preset, tiny_app):
+        config = presets.by_name(preset)
+        obj, packed = _run_pair(
+            lambda: EventTrace(tiny_app, scale=1.0, seed=3), config)
+        assert obj.to_dict() == packed.to_dict()
+
+    @pytest.mark.parametrize("preset",
+                             ["baseline", "nl", "esp_nl", "runahead_nl"])
+    def test_headline_presets_real_app(self, preset):
+        config = presets.by_name(preset)
+        obj, packed = _run_pair(
+            lambda: EventTrace(get_app("pixlr"), scale=0.25, seed=0),
+            config)
+        assert obj.to_dict() == packed.to_dict()
+
+    def test_runahead_uses_object_path(self, tiny_trace):
+        sim = Simulator(tiny_trace, presets.runahead_nl())
+        assert sim.runahead is not None
+        # fast path excludes runahead: its pre-execution consumes the
+        # live object stream, so forcing packed must change nothing
+        a = Simulator(tiny_trace, presets.runahead_nl()).run()
+        b = Simulator(tiny_trace, presets.runahead_nl(),
+                      use_packed=True).run()
+        assert a.to_dict() == b.to_dict()
+
+    def test_working_sets_and_event_profiles_match(self, tiny_app):
+        config = presets.by_name("esp_nl")
+        results = []
+        for use_packed in (False, None):
+            sim = Simulator(EventTrace(tiny_app, scale=1.0, seed=0),
+                            config, use_packed=use_packed)
+            sim.collect_working_sets = True
+            sim.collect_event_profile = True
+            sim.run()
+            results.append((sim.normal_i_working_sets,
+                            sim.normal_d_working_sets,
+                            [(p.event_index, p.instructions, p.cycles,
+                              p.hinted) for p in sim.event_profiles]))
+        assert results[0] == results[1]

@@ -1,0 +1,149 @@
+"""Parallel experiment fan-out: determinism, cache integrity, fallback.
+
+``ExperimentRunner.run_many`` distributes uncached (app, config) pairs
+over a process pool. The contract pinned here: parallel results are
+bit-identical to serial ones, concurrent writers of the same cache key
+never corrupt the cache (atomic write-to-temp + rename), and pools that
+cannot be created degrade to the serial path instead of failing.
+"""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.sim import presets
+from repro.sim.experiments import ExperimentRunner, _run_remote
+from repro.sim.results import SimResult
+
+APPS = ["bing", "pixlr"]
+CONFIGS = ["baseline", "nl"]
+
+
+def _grid_dicts(runner):
+    grid = runner.grid([presets.by_name(name) for name in CONFIGS],
+                       apps=APPS)
+    return {cfg: {app: result.to_dict()
+                  for app, result in row.items()}
+            for cfg, row in grid.items()}
+
+
+class TestParallelDeterminism:
+    def test_parallel_grid_matches_serial(self, tmp_path):
+        serial = ExperimentRunner(cache_dir=tmp_path / "serial",
+                                  scale=0.25, seed=0, jobs=1)
+        parallel = ExperimentRunner(cache_dir=tmp_path / "parallel",
+                                    scale=0.25, seed=0, jobs=2)
+        assert _grid_dicts(serial) == _grid_dicts(parallel)
+
+    def test_parallel_writes_identical_cache_files(self, tmp_path):
+        serial = ExperimentRunner(cache_dir=tmp_path / "serial",
+                                  scale=0.25, seed=0, jobs=1)
+        parallel = ExperimentRunner(cache_dir=tmp_path / "parallel",
+                                    scale=0.25, seed=0, jobs=2)
+        _grid_dicts(serial)
+        _grid_dicts(parallel)
+        serial_files = {p.name: p for p in (tmp_path / "serial").glob("*.json")}
+        parallel_files = {p.name: p
+                          for p in (tmp_path / "parallel").glob("*.json")}
+        assert serial_files.keys() == parallel_files.keys()
+        assert serial_files
+        for name, path in serial_files.items():
+            assert (json.loads(path.read_text())
+                    == json.loads(parallel_files[name].read_text()))
+        # no leftover temp files from the atomic-rename protocol
+        assert not list((tmp_path / "parallel").glob("*.tmp"))
+
+    def test_run_many_preserves_pair_order_and_dedupes(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  jobs=2)
+        baseline = presets.baseline()
+        pairs = [("bing", baseline), ("pixlr", baseline),
+                 ("bing", baseline)]  # duplicate pair
+        results = runner.run_many(pairs)
+        assert len(results) == 3
+        assert results[0].to_dict() == results[2].to_dict()
+        assert results[0].app == "bing"
+        assert results[1].app == "pixlr"
+
+    def test_traces_recorded_before_fanout(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  jobs=2)
+        runner.run_many([("bing", presets.baseline())])
+        assert list((tmp_path / "traces").glob("bing-*.espt"))
+
+
+class TestCacheIntegrity:
+    def test_concurrent_writers_same_key(self, tmp_path):
+        """Several workers simulating the same key land a complete,
+        parseable cache file identical to the serial result."""
+        config = presets.baseline()
+        try:
+            pool = ProcessPoolExecutor(max_workers=2)
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            pytest.skip(f"cannot spawn worker processes: {exc}")
+        with pool:
+            futures = [
+                pool.submit(_run_remote, "bing", config, 0.25, 0,
+                            str(tmp_path), True)
+                for _ in range(4)]
+            remote = [SimResult.from_dict(f.result()) for f in futures]
+        reference = ExperimentRunner(
+            cache_dir=tmp_path / "ref", scale=0.25, seed=0,
+            jobs=1).run("bing", config).to_dict()
+        for result in remote:
+            assert result.to_dict() == reference
+        cache_files = [p for p in tmp_path.glob("*.json")]
+        assert len(cache_files) == 1
+        assert SimResult.from_dict(
+            json.loads(cache_files[0].read_text())).to_dict() == reference
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestFallback:
+    def test_pool_creation_failure_degrades_to_serial(self, tmp_path,
+                                                      monkeypatch):
+        def broken_pool(*args, **kwargs):
+            raise OSError("no process support")
+
+        monkeypatch.setattr("repro.sim.experiments.ProcessPoolExecutor",
+                            broken_pool)
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  jobs=4)
+        results = runner.run_many([("bing", presets.baseline())])
+        reference = ExperimentRunner(
+            cache_dir=tmp_path / "ref", scale=0.25, seed=0,
+            jobs=1).run("bing", presets.baseline())
+        assert results[0].to_dict() == reference.to_dict()
+
+    def test_cached_batch_never_touches_the_pool(self, tmp_path,
+                                                 monkeypatch):
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  jobs=2)
+        pairs = [("bing", presets.baseline())]
+        runner.run_many(pairs)
+
+        def exploding_pool(*args, **kwargs):
+            raise AssertionError("pool created for a fully-cached batch")
+
+        monkeypatch.setattr("repro.sim.experiments.ProcessPoolExecutor",
+                            exploding_pool)
+        results = runner.run_many(pairs)
+        assert results[0].app == "bing"
+
+
+class TestJobsConfiguration:
+    def test_env_sets_default_jobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert ExperimentRunner(use_disk_cache=False).jobs == 3
+
+    def test_invalid_env_means_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert ExperimentRunner(use_disk_cache=False).jobs == 1
+
+    def test_constructor_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert ExperimentRunner(use_disk_cache=False, jobs=2).jobs == 2
+
+    def test_jobs_floor_is_one(self):
+        assert ExperimentRunner(use_disk_cache=False, jobs=0).jobs == 1
