@@ -9,6 +9,9 @@ Commands:
 * ``apps`` — list the benchmark application profiles (Figure 6).
 * ``presets`` — list the named machine configurations.
 * ``inspect`` — per-event anatomy of one app's trace.
+* ``stats`` — aggregate the harness's JSONL run logs (cache hit rates,
+  per-app wall-clock and throughput, retry counts); ``--json`` emits the
+  machine-readable summary instead of the table.
 """
 
 from __future__ import annotations
@@ -97,6 +100,24 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.runlog import default_log_dir, iter_records
+    from repro.obs.stats import format_table, summarize
+    from repro.sim.experiments import default_cache_dir
+
+    log_dir = args.log_dir if args.log_dir is not None \
+        else default_log_dir(default_cache_dir())
+    summary = summarize(iter_records(log_dir))
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"run logs: {log_dir}")
+        print(format_table(summary))
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.isa import summarize_stream
     from repro.workloads import EventTrace, get_app
@@ -158,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="assemble EXPERIMENTS.md from recorded figures")
     p.add_argument("--output-dir", default=None)
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("stats",
+                       help="aggregate the harness's JSONL run logs")
+    p.add_argument("--log-dir", default=None,
+                   help="log directory (default: REPRO_LOG_DIR or "
+                        "<cache-dir>/logs)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable summary JSON")
+    p.set_defaults(func=_cmd_stats)
 
     p = sub.add_parser("inspect", help="per-event anatomy of a trace")
     p.add_argument("app")

@@ -38,6 +38,7 @@ from repro.isa.instructions import (
 )
 from repro.isa.stream import PackedStream
 from repro.memory.cachelet import CacheletPair
+from repro.obs.metrics import get_registry
 from repro.sim.config import EspBpMode
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -92,6 +93,10 @@ class EspController:
         self.d_working_sets: list[dict[int, int]] = []
         self._current_index = -1
         self._ras_dirty = False
+        #: process-wide metrics registry (no-op unless enabled); stall
+        #: entries and mode switches are recorded at stall granularity,
+        #: never per pre-executed instruction
+        self.metrics = get_registry()
         # naive-mode fill tracking for the prematurity-decay substitution
         # (see EspConfig.naive_l1_decay): blocks fetched straight into the
         # hierarchy for future events, pending their boundary decay.
@@ -226,6 +231,9 @@ class EspController:
         if all(slot is None for slot in self.queue.slots):
             return  # nothing queued: no sneak peek possible
         self.stats.mode_entries += 1
+        if self.metrics.enabled:
+            self.metrics.inc("esp.context_switches")
+            self.metrics.observe("esp.stall_budget_cycles", budget)
         budget -= self.core.context_switch_penalty
         # Walk ESP-1 -> ESP-2 -> ... as Figure 4 describes; if the deepest
         # mode ends with budget to spare, circle back to shallower modes
@@ -256,6 +264,8 @@ class EspController:
                 if deeper or state.finished or state.exhausted:
                     mode += 1
                     budget -= self.core.context_switch_penalty
+                    if self.metrics.enabled:
+                        self.metrics.inc("esp.context_switches")
                 else:
                     progress = False
                     break  # budget exhausted mid-slot

@@ -1,0 +1,208 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+The registry follows the discipline of real simulators' event counters
+(MGSim's per-component counters, Pac-Sim's live sampling statistics): every
+subsystem can account for what it did, but the *default* registry is a
+no-op whose recording methods do nothing, so the simulator hot loops pay
+nothing when observability is off. Components that would otherwise pay a
+per-access cost (the memory hierarchy, the prefetchers) publish their
+already-maintained counters once per run instead of instrumenting each
+access.
+
+Enable recording by setting ``REPRO_METRICS=1`` in the environment before
+the first :func:`get_registry` call, or programmatically via
+:func:`enable_metrics` / :func:`set_registry`. ``registry.enabled`` lets
+call sites skip snapshot-building work entirely when metrics are off.
+"""
+
+from __future__ import annotations
+
+import os
+
+_METRICS_ENV = "REPRO_METRICS"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the count."""
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of observed values."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """A recording registry of named counters, gauges and histograms.
+
+    Names are dotted strings (``"cache.result.hit"``,
+    ``"esp.context_switches"``); instruments are created on first use.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument access -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on demand)."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on demand)."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on demand)."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = Histogram()
+        return hist
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counter(name).inc(n)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Fold ``value`` into histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    # -- inspection --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-serialisable)."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: {"count": h.count, "sum": h.total, "mean": h.mean,
+                       "min": h.minimum if h.count else 0.0,
+                       "max": h.maximum if h.count else 0.0}
+                for name, h in sorted(self._histograms.items())},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The zero-cost default: recording methods do nothing.
+
+    ``enabled`` is False so hot call sites can skip even the argument
+    construction for snapshot-style publishing.
+    """
+
+    enabled = False
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """No-op."""
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """No-op."""
+
+    def observe(self, name: str, value: float) -> None:
+        """No-op."""
+
+
+#: lazily initialised process-wide registry (see :func:`get_registry`)
+_REGISTRY: MetricsRegistry | None = None
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry.
+
+    First call decides the default from ``REPRO_METRICS``: truthy values
+    (``1``/``true``/``yes``/``on``) install a recording
+    :class:`MetricsRegistry`, anything else the no-op
+    :class:`NullMetricsRegistry`.
+    """
+    global _REGISTRY
+    if _REGISTRY is None:
+        enabled = os.environ.get(_METRICS_ENV, "").strip().lower() in _TRUTHY
+        _REGISTRY = MetricsRegistry() if enabled else NullMetricsRegistry()
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process-wide one; returns the previous
+    registry (which may be None-initialised lazily before first use)."""
+    global _REGISTRY
+    previous = get_registry()
+    _REGISTRY = registry
+    return previous
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install (and return) a fresh recording registry."""
+    registry = MetricsRegistry()
+    set_registry(registry)
+    return registry
+
+
+def disable_metrics() -> None:
+    """Restore the no-op default registry."""
+    set_registry(NullMetricsRegistry())

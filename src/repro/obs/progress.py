@@ -1,0 +1,69 @@
+"""A tqdm-free, single-line stderr progress indicator.
+
+The experiment harness drives long (config × app) grids; this renders a
+``[done/total]`` line that overwrites itself with carriage returns, so a
+terminal user sees live progress and redirected output stays clean.
+Enablement: ``REPRO_PROGRESS=1`` forces it on, ``REPRO_PROGRESS=0`` forces
+it off, and by default it renders only when the stream is a TTY — batch
+logs and test captures never see control characters they did not ask for.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_PROGRESS_ENV = "REPRO_PROGRESS"
+
+
+class ProgressLine:
+    """Renders ``[done/total] note`` in place on one stream line."""
+
+    def __init__(self, total: int, label: str = "runs",
+                 stream=None, enabled: bool | None = None) -> None:
+        self.total = max(0, int(total))
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.done = 0
+        self._width = 0
+        if enabled is None:
+            env = os.environ.get(_PROGRESS_ENV, "").strip().lower()
+            if env in ("1", "true", "yes", "on"):
+                enabled = True
+            elif env in ("0", "false", "no", "off"):
+                enabled = False
+            else:
+                enabled = bool(getattr(self.stream, "isatty", lambda: False)())
+        self.enabled = enabled and self.total > 0
+
+    def advance(self, n: int = 1, note: str = "") -> None:
+        """Mark ``n`` more items done and re-render."""
+        self.done += n
+        self._render(note)
+
+    def _render(self, note: str) -> None:
+        if not self.enabled:
+            return
+        done = min(self.done, self.total)
+        pct = 100.0 * done / self.total
+        text = f"[{done}/{self.total}] {self.label} {pct:3.0f}%"
+        if note:
+            text += f" {note}"
+        pad = max(0, self._width - len(text))
+        self._width = len(text)
+        try:
+            self.stream.write("\r" + text + " " * pad)
+            self.stream.flush()
+        except (OSError, ValueError):
+            self.enabled = False  # closed/broken stream: go quiet
+
+    def close(self) -> None:
+        """Erase the line, leaving the cursor at column 0."""
+        if not self.enabled or self._width == 0:
+            return
+        try:
+            self.stream.write("\r" + " " * self._width + "\r")
+            self.stream.flush()
+        except (OSError, ValueError):
+            pass
+        self._width = 0

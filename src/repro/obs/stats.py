@@ -1,0 +1,92 @@
+"""Aggregate JSONL run logs into harness-level statistics.
+
+Backs the ``repro stats`` CLI subcommand: reads the records written by
+:mod:`repro.obs.runlog`, and reduces them to per-app throughput, cache hit
+rates and retry counts — a human-readable table plus a machine-readable
+summary dict (``--json``).
+"""
+
+from __future__ import annotations
+
+_HIT_DISPOSITIONS = ("memory", "disk")
+
+
+def _fresh_app_bucket() -> dict:
+    return {"runs": 0, "simulated": 0, "cache_hits": 0, "retries": 0,
+            "trace_load_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
+
+
+def summarize(records) -> dict:
+    """Reduce run-log ``records`` to an aggregate summary.
+
+    Returns a JSON-serialisable dict::
+
+        {"runs": int, "simulated": int, "cache_hits": int,
+         "cache_hit_rate": float, "retries": int,
+         "simulate_s": float, "apps": {app: {...per-app...}}}
+
+    Per-app buckets carry run/hit/retry counts, the summed trace-load /
+    simulate / store seconds, the mean simulation time and the simulation
+    throughput (simulated runs per second of simulate time).
+    """
+    apps: dict[str, dict] = {}
+    runs = simulated = cache_hits = retries = 0
+    for record in records:
+        kind = record.get("kind")
+        app = record.get("app", "?")
+        if kind == "run":
+            bucket = apps.setdefault(app, _fresh_app_bucket())
+            runs += 1
+            bucket["runs"] += 1
+            if record.get("cache") in _HIT_DISPOSITIONS:
+                cache_hits += 1
+                bucket["cache_hits"] += 1
+            else:
+                simulated += 1
+                bucket["simulated"] += 1
+            for field in ("trace_load_s", "simulate_s", "store_s"):
+                value = record.get(field)
+                if isinstance(value, (int, float)):
+                    bucket[field] += value
+        elif kind == "retry":
+            retries += 1
+            apps.setdefault(app, _fresh_app_bucket())["retries"] += 1
+    for bucket in apps.values():
+        sim_s = bucket["simulate_s"]
+        n_sim = bucket["simulated"]
+        bucket["mean_simulate_s"] = sim_s / n_sim if n_sim else 0.0
+        bucket["throughput_per_s"] = n_sim / sim_s if sim_s > 0 else 0.0
+        bucket["hit_rate"] = (bucket["cache_hits"] / bucket["runs"]
+                              if bucket["runs"] else 0.0)
+    return {
+        "runs": runs,
+        "simulated": simulated,
+        "cache_hits": cache_hits,
+        "cache_hit_rate": cache_hits / runs if runs else 0.0,
+        "retries": retries,
+        "simulate_s": sum(b["simulate_s"] for b in apps.values()),
+        "apps": {app: apps[app] for app in sorted(apps)},
+    }
+
+
+def format_table(summary: dict) -> str:
+    """Render a :func:`summarize` dict as a fixed-width text table."""
+    if not summary["runs"] and not summary["retries"]:
+        return "no run records found"
+    lines = [
+        f"{'app':<12} {'runs':>6} {'sim':>6} {'hits':>6} {'hit%':>6} "
+        f"{'sim s':>9} {'mean s':>8} {'sims/s':>8} {'retry':>5}"
+    ]
+    for app, b in summary["apps"].items():
+        lines.append(
+            f"{app:<12} {b['runs']:>6} {b['simulated']:>6} "
+            f"{b['cache_hits']:>6} {100 * b['hit_rate']:>5.1f}% "
+            f"{b['simulate_s']:>9.3f} {b['mean_simulate_s']:>8.3f} "
+            f"{b['throughput_per_s']:>8.2f} {b['retries']:>5}")
+    lines.append(
+        f"{'total':<12} {summary['runs']:>6} {summary['simulated']:>6} "
+        f"{summary['cache_hits']:>6} "
+        f"{100 * summary['cache_hit_rate']:>5.1f}% "
+        f"{summary['simulate_s']:>9.3f} {'':>8} {'':>8} "
+        f"{summary['retries']:>5}")
+    return "\n".join(lines)

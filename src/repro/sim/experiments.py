@@ -8,6 +8,9 @@ by ``(app, config digest, scale, seed, result-schema digest)`` —
 regenerating one figure is cheap once its runs exist, and the full suite
 shares work. The schema digest makes entries written by an older
 ``SimResult`` layout self-invalidate instead of deserialising wrongly.
+The scale component of keys and trace filenames is normalised through
+``repr(float(scale))`` so ``scale=1`` (int) and ``scale=1.0`` (float) of
+the same workload share one cache entry.
 
 Grids fan out over worker processes: ``REPRO_JOBS`` (or the ``jobs``
 constructor argument / ``--jobs`` CLI flag) sets the worker count, and
@@ -20,9 +23,26 @@ Event traces are recorded once per (app, scale, seed) into the cache's
 ``traces/`` directory using the :mod:`repro.isa.tracefile` format, so
 workers deserialise instead of regenerating them.
 
+Fault tolerance: a worker that dies mid-batch (killed, OOM, crashed
+interpreter) or exceeds the optional per-task timeout
+(``REPRO_TASK_TIMEOUT`` seconds / the ``task_timeout`` argument) breaks
+only its own tasks — the harness re-runs whatever is missing serially in
+the parent, so :meth:`ExperimentRunner.run_many` always returns one result
+per requested pair, in order. Simulation errors raised *inside* a worker
+are real bugs and still propagate.
+
+Observability: cache hits/misses/corruptions are counted in the
+:mod:`repro.obs.metrics` registry (no-op by default), every simulation
+request appends one structured JSONL record — key, config digest, seed,
+scale, timings, worker pid, cache disposition — via
+:mod:`repro.obs.runlog` (enabled by ``REPRO_LOG_DIR`` or whenever metrics
+are on), and grid fan-outs render a :class:`~repro.obs.progress.ProgressLine`
+on interactive stderr.
+
 Scaling: the environment variable ``REPRO_SCALE`` (default 1.0) multiplies
 every app's event count; ``REPRO_SEED`` changes the workload seed. The cache
-key includes both.
+key includes both. Malformed values of the harness environment knobs fall
+back to their defaults with a single warning instead of crashing.
 
 The per-figure experiment definitions live in :mod:`repro.sim.figures`.
 """
@@ -31,13 +51,19 @@ from __future__ import annotations
 
 import json
 import os
+import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Iterable
 
 from repro.isa.tracefile import VERSION as TRACE_VERSION
 from repro.isa.tracefile import LoadedTrace, dump_trace, load_trace
+from repro.obs.metrics import get_registry
+from repro.obs.progress import ProgressLine
+from repro.obs.runlog import RunLogWriter, default_log_dir
 from repro.sim.config import SimConfig
 from repro.sim.results import RESULT_SCHEMA, SimResult
 from repro.sim.simulator import Simulator
@@ -47,24 +73,60 @@ _CACHE_ENV = "REPRO_CACHE_DIR"
 _SCALE_ENV = "REPRO_SCALE"
 _SEED_ENV = "REPRO_SEED"
 _JOBS_ENV = "REPRO_JOBS"
+_TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+_LOG_DIR_ENV = "REPRO_LOG_DIR"
+
+#: orphaned ``*.tmp`` files older than this are swept on construction
+STALE_TMP_SECONDS = 3600.0
+
+#: env vars already warned about (one warning per malformed variable)
+_warned_envs: set[str] = set()
+
+
+def _env_or_default(name: str, default, convert):
+    """``convert(os.environ[name])``, falling back to ``default`` (with a
+    single warning per variable) when the value is missing or malformed.
+
+    All harness knobs go through this helper so they degrade consistently:
+    a typo in ``REPRO_SCALE`` must not crash a batch any more than one in
+    ``REPRO_JOBS`` does.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return convert(raw)
+    except ValueError:
+        if name not in _warned_envs:
+            _warned_envs.add(name)
+            warnings.warn(
+                f"ignoring malformed {name}={raw!r}; using default "
+                f"{default!r}", RuntimeWarning, stacklevel=3)
+        return default
 
 
 def default_scale() -> float:
     """Workload scale from ``REPRO_SCALE`` (default 1.0)."""
-    return float(os.environ.get(_SCALE_ENV, "1.0"))
+    return _env_or_default(_SCALE_ENV, 1.0, float)
 
 
 def default_seed() -> int:
     """Workload seed from ``REPRO_SEED`` (default 0)."""
-    return int(os.environ.get(_SEED_ENV, "0"))
+    return _env_or_default(_SEED_ENV, 0, int)
 
 
 def default_jobs() -> int:
     """Worker-process count from ``REPRO_JOBS`` (default 1 = serial)."""
-    try:
-        return max(1, int(os.environ.get(_JOBS_ENV, "1")))
-    except ValueError:
-        return 1
+    return max(1, _env_or_default(_JOBS_ENV, 1, int))
+
+
+def default_task_timeout() -> float | None:
+    """Per-task timeout in seconds from ``REPRO_TASK_TIMEOUT``
+    (default None = wait forever)."""
+    timeout = _env_or_default(_TIMEOUT_ENV, None, float)
+    if timeout is None or timeout <= 0:
+        return None
+    return timeout
 
 
 def _is_writable(path: Path) -> bool:
@@ -95,12 +157,14 @@ def default_cache_dir() -> Path:
 
 
 def _run_remote(app: str, config: SimConfig, scale: float, seed: int,
-                cache_dir: str, use_disk_cache: bool) -> dict:
+                cache_dir: str, use_disk_cache: bool,
+                log_dir: str | None = None) -> dict:
     """Worker-process entry point: run one simulation, sharing the on-disk
-    caches with the parent (module-level so it pickles under fork and
-    spawn alike)."""
+    caches — and the JSONL run log — with the parent (module-level so it
+    pickles under fork and spawn alike)."""
     runner = ExperimentRunner(cache_dir=cache_dir, scale=scale, seed=seed,
-                              use_disk_cache=use_disk_cache, jobs=1)
+                              use_disk_cache=use_disk_cache, jobs=1,
+                              log_dir=log_dir)
     return runner.run(app, config).to_dict()
 
 
@@ -110,21 +174,67 @@ class ExperimentRunner:
     def __init__(self, cache_dir: Path | str | None = None,
                  scale: float | None = None, seed: int | None = None,
                  use_disk_cache: bool = True,
-                 jobs: int | None = None) -> None:
-        self.scale = default_scale() if scale is None else scale
+                 jobs: int | None = None,
+                 task_timeout: float | None = None,
+                 log_dir: Path | str | None = None) -> None:
+        """``task_timeout`` (or ``REPRO_TASK_TIMEOUT``) bounds each
+        parallel task; ``log_dir`` forces JSONL run-logging into that
+        directory (default: on when ``REPRO_LOG_DIR`` is set or metrics
+        are enabled, next to the result cache)."""
+        self.scale = float(default_scale() if scale is None else scale)
         self.seed = default_seed() if seed is None else seed
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         self.use_disk_cache = use_disk_cache
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.task_timeout = default_task_timeout() if task_timeout is None \
+            else (task_timeout if task_timeout > 0 else None)
+        self.metrics = get_registry()
+        if log_dir is not None:
+            self._runlog = RunLogWriter(log_dir)
+        elif os.environ.get(_LOG_DIR_ENV) or \
+                (self.metrics.enabled and use_disk_cache):
+            self._runlog = RunLogWriter(default_log_dir(self.cache_dir))
+        else:
+            self._runlog = RunLogWriter(None)
+        #: parallel tasks completed serially after a worker died/timed out
+        self.retries = 0
         self._memory: dict[str, SimResult] = {}
         self._traces: dict[str, EventTrace | LoadedTrace] = {}
+        self._timings = (0.0, 0.0)
+        if self.use_disk_cache:
+            self._sweep_stale_tmp()
+
+    # -- cache hygiene ---------------------------------------------------------
+
+    def _sweep_stale_tmp(self) -> None:
+        """Remove ``*.tmp`` files orphaned by processes that died between
+        the temp write and the atomic rename (older than
+        :data:`STALE_TMP_SECONDS`; young ones may belong to live writers).
+        """
+        if not self.cache_dir.exists():
+            return
+        cutoff = time.time() - STALE_TMP_SECONDS
+        for pattern in ("*.tmp", "traces/*.tmp"):
+            for tmp in self.cache_dir.glob(pattern):
+                try:
+                    if tmp.stat().st_mtime < cutoff:
+                        tmp.unlink()
+                        self.metrics.inc("cache.tmp_swept")
+                except OSError:
+                    pass  # vanished concurrently or unwritable: not ours
 
     # -- trace reuse -----------------------------------------------------------
 
+    def _scale_tag(self) -> str:
+        # repr(float()) so scale=1 (int) and scale=1.0 (float) — the same
+        # workload — share cache keys and trace filenames
+        return repr(float(self.scale))
+
     def _trace_path(self, app: str) -> Path:
         return (self.cache_dir / "traces" /
-                f"{app}-s{self.scale}-r{self.seed}-v{TRACE_VERSION}.espt")
+                f"{app}-s{self._scale_tag()}-r{self.seed}"
+                f"-v{TRACE_VERSION}.espt")
 
     def trace(self, app: str) -> EventTrace | LoadedTrace:
         """The (cached) event trace for ``app`` at this runner's scale.
@@ -143,10 +253,13 @@ class ExperimentRunner:
         if self.use_disk_cache and path.exists():
             try:
                 trace = load_trace(path, profile=get_app(app))
+                self.metrics.inc("cache.trace.hit")
             except (ValueError, EOFError, OSError):
+                self.metrics.inc("cache.trace.corrupt")
                 path.unlink(missing_ok=True)
                 trace = None
         if trace is None:
+            self.metrics.inc("cache.trace.miss")
             trace = EventTrace(get_app(app), scale=self.scale,
                                seed=self.seed)
             if self.use_disk_cache:
@@ -161,8 +274,8 @@ class ExperimentRunner:
     # -- runs -----------------------------------------------------------------
 
     def _key(self, app: str, config: SimConfig) -> str:
-        return (f"{app}-{config.cache_key()}-s{self.scale}-r{self.seed}"
-                f"-{RESULT_SCHEMA}")
+        return (f"{app}-{config.cache_key()}-s{self._scale_tag()}"
+                f"-r{self.seed}-{RESULT_SCHEMA}")
 
     def _load_cached(self, key: str) -> SimResult | None:
         cached = self._memory.get(key)
@@ -177,8 +290,20 @@ class ExperimentRunner:
                     self._memory[key] = result
                     return result
                 except (json.JSONDecodeError, TypeError, KeyError):
+                    self.metrics.inc("cache.result.corrupt")
                     path.unlink(missing_ok=True)
         return None
+
+    def _fetch_cached(self, key: str, app: str,
+                      config: SimConfig) -> SimResult | None:
+        """Cache lookup with hit accounting (metrics + run log)."""
+        in_memory = key in self._memory
+        cached = self._load_cached(key)
+        if cached is not None:
+            self.metrics.inc("cache.result.hit")
+            self._log_run(key, app, config,
+                          "memory" if in_memory else "disk")
+        return cached
 
     def _store(self, key: str, result: SimResult) -> None:
         self._memory[key] = result
@@ -191,6 +316,32 @@ class ExperimentRunner:
             tmp = path.parent / (path.name + f".{os.getpid()}.tmp")
             tmp.write_text(json.dumps(result.to_dict()))
             os.replace(tmp, path)
+            self.metrics.inc("cache.result.stored")
+
+    # -- run logging -----------------------------------------------------------
+
+    def _log_run(self, key: str, app: str, config: SimConfig, cache: str,
+                 trace_load_s: float = 0.0, simulate_s: float = 0.0,
+                 store_s: float = 0.0) -> None:
+        """Append one ``run`` record (no-op when logging is disabled)."""
+        if not self._runlog.enabled:
+            return
+        self._runlog.write({
+            "kind": "run", "ts": round(time.time(), 3), "key": key,
+            "app": app, "config": config.name,
+            "config_digest": config.cache_key(), "scale": self.scale,
+            "seed": self.seed, "pid": os.getpid(), "cache": cache,
+            "trace_load_s": round(trace_load_s, 6),
+            "simulate_s": round(simulate_s, 6),
+            "store_s": round(store_s, 6)})
+
+    def _log_retry(self, key: str, app: str, reason: str) -> None:
+        """Append one ``retry`` record (no-op when logging is disabled)."""
+        if not self._runlog.enabled:
+            return
+        self._runlog.write({
+            "kind": "retry", "ts": round(time.time(), 3), "key": key,
+            "app": app, "reason": reason, "pid": os.getpid()})
 
     def run(self, app: str, config: SimConfig, **run_kwargs) -> SimResult:
         """Run (or fetch from cache) one simulation."""
@@ -198,19 +349,29 @@ class ExperimentRunner:
             # non-default run options (e.g. warmup sweeps) bypass the cache
             return self._simulate(app, config, **run_kwargs)
         key = self._key(app, config)
-        cached = self._load_cached(key)
+        cached = self._fetch_cached(key, app, config)
         if cached is not None:
             return cached
+        self.metrics.inc("cache.result.miss")
         result = self._simulate(app, config)
+        trace_load_s, simulate_s = self._timings
+        t0 = time.perf_counter()
         self._store(key, result)
+        store_s = time.perf_counter() - t0
+        self._log_run(key, app, config, "simulated",
+                      trace_load_s, simulate_s, store_s)
         return result
 
     def _simulate(self, app: str, config: SimConfig,
                   **run_kwargs) -> SimResult:
-        sim = Simulator(self.trace(app), config)
+        t0 = time.perf_counter()
+        trace = self.trace(app)
+        t1 = time.perf_counter()
+        sim = Simulator(trace, config)
         result = sim.run(**run_kwargs)
         # name the result after the preset for readable reports
         result.config = config.name
+        self._timings = (t1 - t0, time.perf_counter() - t1)
         return result
 
     # -- parallel fan-out -----------------------------------------------------
@@ -220,12 +381,15 @@ class ExperimentRunner:
         """Run every (app, config) pair, fanning uncached ones over
         ``self.jobs`` worker processes.
 
-        Results come back in ``pairs`` order and are bit-identical to
-        serial runs: each simulation is a pure function of its key, and
-        workers share the parent's on-disk caches via atomic writes. If
-        the platform cannot spawn worker processes (restricted sandboxes),
-        the batch silently degrades to serial execution; worker-side
-        simulation errors propagate unchanged.
+        Results come back in ``pairs`` order — always one per pair, even
+        when a worker process dies or times out mid-batch (its tasks are
+        completed serially in the parent; see :meth:`_run_parallel`) —
+        and are bit-identical to serial runs: each simulation is a pure
+        function of its key, and workers share the parent's on-disk
+        caches via atomic writes. If the platform cannot spawn worker
+        processes (restricted sandboxes), the batch silently degrades to
+        serial execution; worker-side simulation errors propagate
+        unchanged.
         """
         pairs = list(pairs)
         results: dict[str, SimResult] = {}
@@ -235,54 +399,85 @@ class ExperimentRunner:
             key = self._key(app, config)
             if key in queued or key in results:
                 continue
-            cached = self._load_cached(key)
+            cached = self._fetch_cached(key, app, config)
             if cached is not None:
                 results[key] = cached
             else:
                 queued.add(key)
                 todo.append((key, app, config))
+        progress = ProgressLine(len(results) + len(todo), label="sims")
+        progress.advance(len(results), note="cached")
         if todo and self.jobs > 1:
             # record the traces before forking so workers load instead of
             # each regenerating the same apps
             if self.use_disk_cache:
                 for app in {app for _, app, _ in todo}:
                     self.trace(app)
-            done = self._run_parallel(todo, results)
-            todo = todo[done:]
-        for key, app, config in todo:
-            results[key] = self.run(app, config)
-        return [results[self._key(app, config)] for app, config in pairs]
+            missing = self._run_parallel(todo, results, progress)
+        else:
+            missing = todo
+        try:
+            for key, app, config in missing:
+                results[key] = self.run(app, config)
+                progress.advance(note=app)
+        finally:
+            progress.close()
+        out = [results[self._key(app, config)] for app, config in pairs]
+        assert len(out) == len(pairs)
+        return out
 
     def _run_parallel(self, todo: list[tuple[str, str, SimConfig]],
-                      results: dict[str, SimResult]) -> int:
+                      results: dict[str, SimResult],
+                      progress: ProgressLine
+                      ) -> list[tuple[str, str, SimConfig]]:
         """Execute ``todo`` on a process pool, filling ``results``.
 
-        Returns how many entries completed (a prefix count); anything
-        beyond it falls back to the caller's serial loop. Pool-creation
-        and pool-breakage errors trigger the fallback — simulation errors
-        raised inside a worker do not, they propagate.
+        Returns the entries that did not complete — worker deaths
+        (:class:`BrokenProcessPool`) and per-task timeouts lose only the
+        affected tasks, which the caller re-runs serially. Pool-creation
+        failure returns everything for the serial path. Simulation errors
+        raised inside a worker are not swallowed — they propagate.
         """
         try:
             pool = ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(todo)))
         except (OSError, PermissionError, ValueError):
-            return 0
+            return list(todo)
+        wait_on_exit = True
         try:
-            with pool:
-                futures = [
-                    pool.submit(_run_remote, app, config, self.scale,
-                                self.seed, str(self.cache_dir),
-                                self.use_disk_cache)
-                    for _, app, config in todo]
-                for (key, _, _), future in zip(todo, futures):
-                    result = SimResult.from_dict(future.result())
-                    self._memory[key] = result
-                    results[key] = result
-        except BrokenProcessPool:
-            # a worker died without raising (killed / unspawnable): run
-            # whatever is missing serially rather than failing the batch
-            return sum(1 for key, _, _ in todo if key in results)
-        return len(todo)
+            worker_log_dir = str(self._runlog.log_dir) \
+                if self._runlog.enabled else None
+            futures = [
+                pool.submit(_run_remote, app, config, self.scale,
+                            self.seed, str(self.cache_dir),
+                            self.use_disk_cache, worker_log_dir)
+                for _, app, config in todo]
+            for (key, app, _), future in zip(todo, futures):
+                try:
+                    payload = future.result(timeout=self.task_timeout)
+                except BrokenProcessPool:
+                    # a worker died without raising (killed / OOM): every
+                    # task it took down is completed serially by the caller
+                    self.retries += 1
+                    self.metrics.inc("runner.worker_deaths")
+                    self._log_retry(key, app, "worker-died")
+                    continue
+                except FutureTimeoutError:
+                    # the straggler keeps its core; don't wait for it on
+                    # shutdown, and re-run its task serially
+                    wait_on_exit = False
+                    future.cancel()
+                    self.retries += 1
+                    self.metrics.inc("runner.task_timeouts")
+                    self._log_retry(key, app, "timeout")
+                    continue
+                result = SimResult.from_dict(payload)
+                self._memory[key] = result
+                results[key] = result
+                progress.advance(note=app)
+        finally:
+            pool.shutdown(wait=wait_on_exit, cancel_futures=True)
+        return [entry for entry in todo if entry[0] not in results]
 
     def grid(self, configs: Iterable[SimConfig],
              apps: Iterable[str] = APP_NAMES
@@ -299,6 +494,7 @@ class ExperimentRunner:
         return out
 
     def clear_cache(self) -> None:
+        """Drop the in-memory caches and delete this runner's disk cache."""
         self._memory.clear()
         self._traces.clear()
         if self.cache_dir.exists():

@@ -82,6 +82,7 @@ class ParameterSweep:
 
     def run(self, runner: ExperimentRunner,
             apps: Iterable[str]) -> SweepResult:
+        """Run the sweep's full (config × app) grid through ``runner``."""
         apps = list(apps)
         # build every point's config up front so the whole sweep fans out
         # over the runner's worker processes in one batch
@@ -92,13 +93,16 @@ class ParameterSweep:
                 raise TypeError("vary() must return a SimConfig")
             configs.append(config.replace(
                 name=f"{self.base.name}[{self.knob}={value}]"))
-        runner.run_many([(app, cfg)
-                         for cfg in [self.baseline] + configs
-                         for app in apps])
-        base_results = {app: runner.run(app, self.baseline) for app in apps}
+        # run_many returns one result per pair in order, so the rows can
+        # be sliced straight out of the flat batch
+        flat = runner.run_many([(app, cfg)
+                                for cfg in [self.baseline] + configs
+                                for app in apps])
+        it = iter(flat)
+        base_results = {app: next(it) for app in apps}
         sweep = SweepResult(knob=self.knob)
         for value, config in zip(self.values, configs):
-            results = {app: runner.run(app, config) for app in apps}
+            results = {app: next(it) for app in apps}
             improvements = {
                 app: results[app].improvement_over(base_results[app])
                 for app in apps

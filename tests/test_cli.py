@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -68,3 +70,48 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Pentium M" in out
         assert "12.6" in out
+
+
+class TestStats:
+    def _seed_log(self, log_dir):
+        log_dir.mkdir(parents=True, exist_ok=True)
+        records = [
+            {"kind": "run", "app": "bing", "cache": "simulated",
+             "trace_load_s": 0.1, "simulate_s": 2.0, "store_s": 0.01},
+            {"kind": "run", "app": "bing", "cache": "disk"},
+            {"kind": "run", "app": "pixlr", "cache": "memory"},
+            {"kind": "retry", "app": "pixlr", "reason": "worker-died"},
+        ]
+        (log_dir / "runs.jsonl").write_text(
+            "".join(json.dumps(r) + "\n" for r in records))
+
+    def test_stats_table(self, tmp_path, capsys):
+        self._seed_log(tmp_path)
+        assert main(["stats", "--log-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bing" in out
+        assert "pixlr" in out
+        assert "total" in out
+        assert str(tmp_path) in out
+
+    def test_stats_json(self, tmp_path, capsys):
+        self._seed_log(tmp_path)
+        assert main(["stats", "--log-dir", str(tmp_path), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["runs"] == 3
+        assert summary["cache_hits"] == 2
+        assert summary["retries"] == 1
+        assert summary["apps"]["bing"]["simulate_s"] == 2.0
+
+    def test_stats_empty_log_dir(self, tmp_path, capsys):
+        assert main(["stats", "--log-dir", str(tmp_path)]) == 0
+        assert "no run records found" in capsys.readouterr().out
+
+    def test_stats_respects_env_log_dir(self, tmp_path, capsys,
+                                        monkeypatch):
+        self._seed_log(tmp_path / "env-logs")
+        monkeypatch.setenv("REPRO_LOG_DIR", str(tmp_path / "env-logs"))
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "bing" in out

@@ -1,12 +1,17 @@
 """Tests for the experiment runner and its result cache."""
 
 import os
+import time
+import warnings
 from pathlib import Path
 
 import pytest
 
+import repro.sim.experiments as experiments_mod
 from repro.sim import presets
-from repro.sim.experiments import ExperimentRunner, default_cache_dir
+from repro.sim.experiments import (STALE_TMP_SECONDS, ExperimentRunner,
+                                   default_cache_dir, default_scale,
+                                   default_seed, default_task_timeout)
 from repro.sim.config import SimConfig
 from repro.sim.results import RESULT_SCHEMA
 
@@ -128,6 +133,120 @@ class TestDefaultCacheDir:
         monkeypatch.chdir(tmp_path)
         monkeypatch.setattr(os, "access", lambda *a, **k: False)
         assert default_cache_dir() == tmp_path / ".repro_cache"
+
+
+class TestEnvFallback:
+    """Malformed harness env vars fall back with one warning, never crash."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_state(self, monkeypatch):
+        monkeypatch.setattr(experiments_mod, "_warned_envs", set())
+
+    def test_malformed_scale_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.warns(RuntimeWarning, match="REPRO_SCALE"):
+            assert default_scale() == 1.0
+
+    def test_malformed_seed_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SEED", "0x2a")
+        with pytest.warns(RuntimeWarning, match="REPRO_SEED"):
+            assert default_seed() == 0
+
+    def test_malformed_timeout_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "forever")
+        with pytest.warns(RuntimeWarning, match="REPRO_TASK_TIMEOUT"):
+            assert default_task_timeout() is None
+
+    def test_nonpositive_timeout_means_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "0")
+        assert default_task_timeout() is None
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "-3")
+        assert default_task_timeout() is None
+
+    def test_valid_values_still_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv("REPRO_SEED", "7")
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "2.5")
+        assert default_scale() == 0.5
+        assert default_seed() == 7
+        assert default_task_timeout() == 2.5
+
+    def test_warning_emitted_only_once_per_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.warns(RuntimeWarning):
+            default_scale()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert default_scale() == 1.0
+        assert caught == []
+
+    def test_malformed_scale_runner_constructs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.warns(RuntimeWarning):
+            runner = ExperimentRunner(cache_dir=tmp_path, seed=0)
+        assert runner.scale == 1.0
+
+
+class TestScaleKeyNormalization:
+    """``scale=1`` (int) and ``scale=1.0`` (float) share cache entries."""
+
+    def test_int_and_float_scale_share_keys(self, tmp_path):
+        a = ExperimentRunner(cache_dir=tmp_path, scale=1, seed=0)
+        b = ExperimentRunner(cache_dir=tmp_path, scale=1.0, seed=0)
+        config = SimConfig()
+        assert a._key("pixlr", config) == b._key("pixlr", config)
+        assert a._trace_path("pixlr") == b._trace_path("pixlr")
+
+    def test_int_scale_reads_float_scale_entry(self, tmp_path):
+        # seed one real result (cheap scale), file it under the float
+        # runner's full-scale key, and read it back through the int runner
+        result = ExperimentRunner(cache_dir=tmp_path / "seed", scale=0.25,
+                                  seed=0).run("pixlr", SimConfig())
+        writer = ExperimentRunner(cache_dir=tmp_path, scale=1.0, seed=0)
+        writer._store(writer._key("pixlr", SimConfig()), result)
+        reader = ExperimentRunner(cache_dir=tmp_path, scale=1, seed=0)
+        cached = reader._load_cached(reader._key("pixlr", SimConfig()))
+        assert cached is not None
+        assert cached.to_dict() == result.to_dict()
+
+
+class TestStaleTmpSweep:
+    """Construction sweeps ``*.tmp`` files orphaned by dead writers."""
+
+    def _age(self, path):
+        old = time.time() - STALE_TMP_SECONDS - 60
+        os.utime(path, (old, old))
+
+    def test_stale_tmp_removed_fresh_kept(self, tmp_path):
+        (tmp_path / "traces").mkdir(parents=True)
+        stale = tmp_path / "abc.json.123.tmp"
+        stale.write_text("{partial")
+        stale_trace = tmp_path / "traces" / "pixlr.espt.456.tmp"
+        stale_trace.write_bytes(b"partial")
+        fresh = tmp_path / "def.json.789.tmp"
+        fresh.write_text("{live")
+        self._age(stale)
+        self._age(stale_trace)
+        ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        assert not stale.exists()
+        assert not stale_trace.exists()
+        assert fresh.exists()  # young: may belong to a live writer
+
+    def test_no_sweep_without_disk_cache(self, tmp_path):
+        stale = tmp_path / "abc.json.1.tmp"
+        stale.write_text("{partial")
+        self._age(stale)
+        ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                         use_disk_cache=False)
+        assert stale.exists()
+
+    def test_regular_cache_files_untouched(self, tmp_path):
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        runner.run("pixlr", SimConfig())
+        (entry,) = tmp_path.glob("*.json")
+        self._age(entry)
+        ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        assert entry.exists()
 
 
 class TestTraceCache:

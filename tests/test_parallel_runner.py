@@ -8,6 +8,8 @@ cannot be created degrade to the serial path instead of failing.
 """
 
 import json
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 
 import pytest
@@ -18,6 +20,21 @@ from repro.sim.results import SimResult
 
 APPS = ["bing", "pixlr"]
 CONFIGS = ["baseline", "nl"]
+
+
+def _always_dying_remote(app, config, scale, seed, cache_dir,
+                         use_disk_cache, log_dir=None):
+    """Worker stand-in that dies before producing any result (module-level
+    so it pickles into the pool under fork and spawn alike)."""
+    os._exit(3)
+
+
+def _slow_remote(app, config, scale, seed, cache_dir, use_disk_cache,
+                 log_dir=None):
+    """Worker stand-in that outlives any reasonable per-task timeout."""
+    time.sleep(2.0)
+    return _run_remote(app, config, scale, seed, cache_dir, use_disk_cache,
+                       log_dir)
 
 
 def _grid_dicts(runner):
@@ -132,14 +149,54 @@ class TestFallback:
         assert results[0].app == "bing"
 
 
+class TestFaultTolerance:
+    def test_dead_workers_complete_serially(self, tmp_path, monkeypatch):
+        """Every worker dying (BrokenProcessPool) still yields a complete,
+        order-preserving result list, computed serially in the parent."""
+        monkeypatch.setattr("repro.sim.experiments._run_remote",
+                            _always_dying_remote)
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  jobs=2)
+        baseline = presets.baseline()
+        pairs = [("bing", baseline), ("pixlr", baseline),
+                 ("bing", presets.nl())]
+        results = runner.run_many(pairs)
+        assert [r.app for r in results] == ["bing", "pixlr", "bing"]
+        assert runner.retries >= 1
+        reference = ExperimentRunner(cache_dir=tmp_path / "ref",
+                                     scale=0.25, seed=0,
+                                     jobs=1).run_many(pairs)
+        assert ([r.to_dict() for r in results]
+                == [r.to_dict() for r in reference])
+
+    def test_task_timeout_retries_serially(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.sim.experiments._run_remote",
+                            _slow_remote)
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  jobs=2, task_timeout=0.2)
+        results = runner.run_many([("bing", presets.baseline())])
+        assert len(results) == 1
+        assert results[0].app == "bing"
+        assert results[0].instructions > 0
+        assert runner.retries == 1
+
+    def test_timeout_env_configures_runner(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TASK_TIMEOUT", "1.5")
+        assert ExperimentRunner(use_disk_cache=False).task_timeout == 1.5
+
+
 class TestJobsConfiguration:
     def test_env_sets_default_jobs(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert ExperimentRunner(use_disk_cache=False).jobs == 3
 
     def test_invalid_env_means_serial(self, monkeypatch):
+        import repro.sim.experiments as experiments_mod
+
+        monkeypatch.setattr(experiments_mod, "_warned_envs", set())
         monkeypatch.setenv("REPRO_JOBS", "many")
-        assert ExperimentRunner(use_disk_cache=False).jobs == 1
+        with pytest.warns(RuntimeWarning, match="REPRO_JOBS"):
+            assert ExperimentRunner(use_disk_cache=False).jobs == 1
 
     def test_constructor_overrides_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "3")
