@@ -4,6 +4,10 @@ Commands:
 
 * ``simulate`` — run one app through one machine preset and print the
   result summary.
+* ``run`` — run an (apps × presets) grid as a resumable campaign:
+  progress is recorded in a grid manifest, so an interrupted or
+  partially-failed campaign picks up where it stopped with
+  ``repro run --resume``.
 * ``figures`` — regenerate the paper's tables/figures (cached).
 * ``calibrate`` — print the workload-calibration report per app.
 * ``apps`` — list the benchmark application profiles (Figure 6).
@@ -41,6 +45,58 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  hinted events {r.esp.hinted_events:>12,}")
     print(f"  energy        {r.energy.total:>12,.0f} units "
           f"(static {100 * r.energy.static / r.energy.total:.0f}%)")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.sim import presets
+    from repro.sim.experiments import ExperimentRunner, GridTaskError
+    from repro.workloads import APP_NAMES
+
+    runner = ExperimentRunner(scale=args.scale, seed=args.seed,
+                              jobs=args.jobs)
+    if args.resume:
+        try:
+            resumed = runner.resume_grid()
+        except KeyboardInterrupt:
+            print("\ninterrupted — continue with `repro run --resume`",
+                  file=sys.stderr)
+            return 130
+        except GridTaskError as exc:
+            print(f"{exc}\nretry the failed tasks with "
+                  f"`repro run --resume`", file=sys.stderr)
+            return 1
+        if resumed is None:
+            print("no incomplete campaign to resume")
+            return 0
+        manifest, _results = resumed
+        counts = manifest.counts()
+        status = ", ".join(f"{name}={count}"
+                           for name, count in sorted(counts.items()))
+        label = f" ({manifest.label})" if manifest.label else ""
+        print(f"resumed grid {manifest.grid_id}{label}: {status}")
+        return 0 if not counts.get("failed") else 1
+    apps = args.apps or list(APP_NAMES)
+    configs = [presets.by_name(name)
+               for name in (args.config or ["baseline", "esp_nl"])]
+    pairs = [(app, config) for config in configs for app in apps]
+    try:
+        results = runner.run_many(pairs, label=args.label)
+    except KeyboardInterrupt:
+        print("\ninterrupted — continue with `repro run --resume`",
+              file=sys.stderr)
+        return 130
+    except GridTaskError as exc:
+        print(f"{exc}\nretry the failed tasks with `repro run --resume`",
+              file=sys.stderr)
+        return 1
+    it = iter(results)
+    for config in configs:
+        for app in apps:
+            result = next(it)
+            print(f"{config.name:<28} {app:<10} "
+                  f"IPC {result.ipc:>7.3f}  "
+                  f"cycles {result.cycles:>14,.0f}")
     return 0
 
 
@@ -153,6 +209,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "run", help="run an (apps × presets) grid as a resumable campaign")
+    p.add_argument("apps", nargs="*",
+                   help="app names (default: all benchmark apps)")
+    p.add_argument("--config", action="append", default=None,
+                   help="preset name; repeatable "
+                        "(default: baseline esp_nl)")
+    p.add_argument("--scale", type=float, default=None,
+                   help="workload scale (default: REPRO_SCALE or 1.0)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="workload seed (default: REPRO_SEED or 0)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes (default: REPRO_JOBS or 1)")
+    p.add_argument("--label", default=None,
+                   help="label recorded in the grid manifest")
+    p.add_argument("--resume", action="store_true",
+                   help="resume the most recent incomplete campaign "
+                        "instead of starting a new grid")
+    p.set_defaults(func=_cmd_run)
 
     p = sub.add_parser("figures", help="regenerate the paper's figures")
     p.add_argument("names", nargs="*",

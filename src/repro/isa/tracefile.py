@@ -10,7 +10,7 @@ regression-testing the generator, and backs the experiment harness's
 record-once/simulate-many trace cache (parallel workers deserialise a
 trace far faster than they can regenerate it).
 
-Format (little-endian, magic ``ESPT``, version 2):
+Format (little-endian, magic ``ESPT``, version 3):
 
 * header: magic, version, app-name length + UTF-8 bytes, workload seed,
   event count
@@ -19,6 +19,8 @@ Format (little-endian, magic ``ESPT``, version 2):
   true-stream byte length, spec-stream byte length, then the streams
 * per instruction: one kind/flag byte, then varint-encoded PC delta
   (zig-zag), and — where the kind needs them — address and target varints
+* footer (version ≥ 3): magic ``ESPF`` plus the CRC32 of every
+  preceding byte, little-endian
 
 The per-stream byte lengths let :func:`load_trace` index every event in
 one O(events) skip-scan and decode streams lazily: a loaded trace holds
@@ -26,15 +28,22 @@ the raw bytes (~6 B per instruction) and materialises events on demand
 into a small LRU window, the same memory discipline as
 :class:`~repro.workloads.EventTrace`.
 
+The footer makes corruption *detectable* instead of latent: a bit-flip
+or truncation anywhere in the file raises :class:`TraceIntegrityError`
+on load (the harness quarantines the file and regenerates) rather than
+decoding to wrong instruction streams. Version-2 files — written before
+the footer existed — are still readable, unverified, for backward
+compatibility; version-1 files (no seed, no byte-length index) are not.
+
 Varints keep typical instructions to 2-4 bytes (~8x smaller than pickled
-objects) and the format has no Python-specific dependencies. Version-1
-files (no seed, no byte-length index) are not readable; regenerate them.
+objects) and the format has no Python-specific dependencies.
 """
 
 from __future__ import annotations
 
 import io
 import os
+import zlib
 from collections import OrderedDict
 from pathlib import Path
 from typing import BinaryIO
@@ -43,7 +52,14 @@ from repro.isa.instructions import Instruction, is_branch_kind, \
     is_memory_kind
 
 MAGIC = b"ESPT"
-VERSION = 2
+VERSION = 3
+
+FOOTER_MAGIC = b"ESPF"
+_FOOTER_LEN = len(FOOTER_MAGIC) + 4
+
+
+class TraceIntegrityError(ValueError):
+    """A trace file failed its CRC32 footer verification."""
 
 _TAKEN_FLAG = 0x10
 
@@ -130,7 +146,8 @@ def dump_trace(trace, path: Path | str) -> int:
     The file is written to a temporary sibling and moved into place, so
     concurrent writers of the same path (parallel experiment workers that
     raced past each other's existence check) each land a complete file
-    and readers never observe a partial one.
+    and readers never observe a partial one. A CRC32 footer over the
+    whole payload lets :func:`load_trace` detect any later corruption.
     """
     buffer = io.BytesIO()
     buffer.write(MAGIC)
@@ -160,6 +177,7 @@ def dump_trace(trace, path: Path | str) -> int:
         buffer.write(true_payload)
         buffer.write(spec_payload)
     payload = buffer.getvalue()
+    payload += FOOTER_MAGIC + zlib.crc32(payload).to_bytes(4, "little")
     path = Path(path)
     tmp = path.parent / (path.name + f".{os.getpid()}.tmp")
     tmp.write_bytes(payload)
@@ -285,13 +303,32 @@ def load_trace(path: Path | str, profile=None) -> LoadedTrace:
     lazily per event. ``profile`` supplies the
     :class:`~repro.workloads.AppProfile` when the trace's app name is not
     one of the built-in registry entries.
+
+    Version-3 files verify their CRC32 footer before any decoding —
+    truncation or bit-flips raise :class:`TraceIntegrityError`. Version-2
+    files (pre-footer) still load, unverified.
     """
     payload = Path(path).read_bytes()
     data = io.BytesIO(payload)
     if data.read(4) != MAGIC:
         raise ValueError("not an ESP trace file")
     version = _read_varint(data)
-    if version != VERSION:
+    if version == VERSION:
+        if len(payload) < data.tell() + _FOOTER_LEN:
+            raise TraceIntegrityError("trace footer missing (truncated?)")
+        if payload[-_FOOTER_LEN:-4] != FOOTER_MAGIC:
+            raise TraceIntegrityError(
+                "trace footer magic missing (truncated or overwritten)")
+        stored = int.from_bytes(payload[-4:], "little")
+        actual = zlib.crc32(payload[:-_FOOTER_LEN])
+        if stored != actual:
+            raise TraceIntegrityError(
+                f"trace checksum mismatch: stored {stored:#010x}, "
+                f"computed {actual:#010x}")
+        body_end = len(payload) - _FOOTER_LEN
+    elif version == 2:  # pre-footer format: readable, unverified
+        body_end = len(payload)
+    else:
         raise ValueError(f"unsupported trace version {version}")
     name = data.read(_read_varint(data)).decode()
     seed = _read_varint(data)
@@ -310,7 +347,7 @@ def load_trace(path: Path | str, profile=None) -> LoadedTrace:
         true_offset = data.tell()
         spec_offset = true_offset + true_length
         end = spec_offset + spec_length
-        if end > len(payload):
+        if end > body_end:
             raise EOFError("truncated stream data")
         if diverged != bool(spec_count):
             raise ValueError("inconsistent divergence flag")

@@ -13,8 +13,14 @@ Record kinds (``kind`` field):
 * ``run`` — one simulation request: cache key, app, config name + digest,
   scale, seed, worker pid, cache disposition (``memory`` / ``disk`` /
   ``simulated``) and the trace-load / simulate / store timings in seconds.
-* ``retry`` — a parallel task that had to be re-run serially, with the
-  reason (``worker-died`` / ``timeout``).
+* ``retry`` — one failed task attempt that will be (or was) re-tried, with
+  the reason (``worker-died`` / ``timeout`` / ``error``).
+* ``corrupt`` — an on-disk artifact (``trace`` / ``result`` / ``manifest``)
+  failed its integrity check and was quarantined: artifact kind, original
+  filename, quarantine filename (None when the move failed), and the cache
+  key / app when known.
+* ``task-failed`` — a grid task that exhausted its attempt budget and was
+  marked failed in the grid manifest, with its final reason.
 """
 
 from __future__ import annotations

@@ -2,8 +2,11 @@
 
 Backs the ``repro stats`` CLI subcommand: reads the records written by
 :mod:`repro.obs.runlog`, and reduces them to per-app throughput, cache hit
-rates and retry counts — a human-readable table plus a machine-readable
-summary dict (``--json``).
+rates, retry counts, detected cache corruptions (per artifact kind) and
+permanently failed tasks — a human-readable table plus a machine-readable
+summary dict (``--json``). Every quarantine event the harness performs is
+a ``corrupt`` record, so this report is the audit trail of how much
+on-disk state had to be regenerated.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ _HIT_DISPOSITIONS = ("memory", "disk")
 
 def _fresh_app_bucket() -> dict:
     return {"runs": 0, "simulated": 0, "cache_hits": 0, "retries": 0,
+            "corruptions": 0, "failures": 0,
             "trace_load_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
 
 
@@ -23,14 +27,19 @@ def summarize(records) -> dict:
 
         {"runs": int, "simulated": int, "cache_hits": int,
          "cache_hit_rate": float, "retries": int,
+         "corruptions": int, "corrupt_by_artifact": {artifact: int},
+         "task_failures": int,
          "simulate_s": float, "apps": {app: {...per-app...}}}
 
-    Per-app buckets carry run/hit/retry counts, the summed trace-load /
-    simulate / store seconds, the mean simulation time and the simulation
-    throughput (simulated runs per second of simulate time).
+    Per-app buckets carry run/hit/retry/corruption/failure counts, the
+    summed trace-load / simulate / store seconds, the mean simulation
+    time and the simulation throughput (simulated runs per second of
+    simulate time).
     """
     apps: dict[str, dict] = {}
     runs = simulated = cache_hits = retries = 0
+    corruptions = task_failures = 0
+    corrupt_by_artifact: dict[str, int] = {}
     for record in records:
         kind = record.get("kind")
         app = record.get("app", "?")
@@ -51,6 +60,17 @@ def summarize(records) -> dict:
         elif kind == "retry":
             retries += 1
             apps.setdefault(app, _fresh_app_bucket())["retries"] += 1
+        elif kind == "corrupt":
+            corruptions += 1
+            artifact = record.get("artifact", "?")
+            corrupt_by_artifact[artifact] = \
+                corrupt_by_artifact.get(artifact, 0) + 1
+            if app and app != "?":
+                bucket = apps.setdefault(app, _fresh_app_bucket())
+                bucket["corruptions"] += 1
+        elif kind == "task-failed":
+            task_failures += 1
+            apps.setdefault(app, _fresh_app_bucket())["failures"] += 1
     for bucket in apps.values():
         sim_s = bucket["simulate_s"]
         n_sim = bucket["simulated"]
@@ -64,6 +84,10 @@ def summarize(records) -> dict:
         "cache_hits": cache_hits,
         "cache_hit_rate": cache_hits / runs if runs else 0.0,
         "retries": retries,
+        "corruptions": corruptions,
+        "corrupt_by_artifact": {a: corrupt_by_artifact[a]
+                                for a in sorted(corrupt_by_artifact)},
+        "task_failures": task_failures,
         "simulate_s": sum(b["simulate_s"] for b in apps.values()),
         "apps": {app: apps[app] for app in sorted(apps)},
     }
@@ -71,22 +95,30 @@ def summarize(records) -> dict:
 
 def format_table(summary: dict) -> str:
     """Render a :func:`summarize` dict as a fixed-width text table."""
-    if not summary["runs"] and not summary["retries"]:
+    if not summary["runs"] and not summary["retries"] \
+            and not summary.get("corruptions"):
         return "no run records found"
     lines = [
         f"{'app':<12} {'runs':>6} {'sim':>6} {'hits':>6} {'hit%':>6} "
-        f"{'sim s':>9} {'mean s':>8} {'sims/s':>8} {'retry':>5}"
+        f"{'sim s':>9} {'mean s':>8} {'sims/s':>8} {'retry':>5} "
+        f"{'corr':>4} {'fail':>4}"
     ]
     for app, b in summary["apps"].items():
         lines.append(
             f"{app:<12} {b['runs']:>6} {b['simulated']:>6} "
             f"{b['cache_hits']:>6} {100 * b['hit_rate']:>5.1f}% "
             f"{b['simulate_s']:>9.3f} {b['mean_simulate_s']:>8.3f} "
-            f"{b['throughput_per_s']:>8.2f} {b['retries']:>5}")
+            f"{b['throughput_per_s']:>8.2f} {b['retries']:>5} "
+            f"{b.get('corruptions', 0):>4} {b.get('failures', 0):>4}")
     lines.append(
         f"{'total':<12} {summary['runs']:>6} {summary['simulated']:>6} "
         f"{summary['cache_hits']:>6} "
         f"{100 * summary['cache_hit_rate']:>5.1f}% "
         f"{summary['simulate_s']:>9.3f} {'':>8} {'':>8} "
-        f"{summary['retries']:>5}")
+        f"{summary['retries']:>5} {summary.get('corruptions', 0):>4} "
+        f"{summary.get('task_failures', 0):>4}")
+    if summary.get("corrupt_by_artifact"):
+        detail = ", ".join(f"{artifact}: {count}" for artifact, count
+                           in summary["corrupt_by_artifact"].items())
+        lines.append(f"corrupt artifacts quarantined — {detail}")
     return "\n".join(lines)

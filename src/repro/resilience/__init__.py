@@ -1,0 +1,37 @@
+"""Crash-safe, self-healing persistence for the experiment harness.
+
+Every durable artifact the harness writes — ``.espt`` traces, result-cache
+JSON, grid manifests — can be hit by bit-flips, torn writes, or partial
+sweeps. This package makes that corruption *detectable* (content
+checksums, :mod:`repro.resilience.integrity`), *visible* (quarantine
+directory, ``cache.corrupt`` metrics, ``corrupt`` run-log records) and
+*recoverable* (regeneration plus resumable grid manifests,
+:mod:`repro.resilience.manifest`). A deterministic fault-injection
+harness (:mod:`repro.resilience.faults`, ``REPRO_FAULTS``) proves the
+recovery paths: a figure grid run under injected worker kills, artifact
+corruption and torn writes must still produce results bit-identical to a
+clean serial run.
+"""
+
+from repro.resilience.faults import (FaultPlan, GridInterrupt,
+                                     get_fault_plan, set_fault_plan)
+from repro.resilience.integrity import (IntegrityError, payload_digest,
+                                        quarantine, unwrap_result,
+                                        wrap_result)
+from repro.resilience.manifest import (GridManifest, config_from_dict,
+                                       config_to_dict)
+
+__all__ = [
+    "FaultPlan",
+    "GridInterrupt",
+    "GridManifest",
+    "IntegrityError",
+    "config_from_dict",
+    "config_to_dict",
+    "get_fault_plan",
+    "payload_digest",
+    "quarantine",
+    "set_fault_plan",
+    "unwrap_result",
+    "wrap_result",
+]

@@ -27,9 +27,27 @@ Fault tolerance: a worker that dies mid-batch (killed, OOM, crashed
 interpreter) or exceeds the optional per-task timeout
 (``REPRO_TASK_TIMEOUT`` seconds / the ``task_timeout`` argument) breaks
 only its own tasks — the harness re-runs whatever is missing serially in
-the parent, so :meth:`ExperimentRunner.run_many` always returns one result
-per requested pair, in order. Simulation errors raised *inside* a worker
-are real bugs and still propagate.
+the parent (timeout-bounded, with up to ``REPRO_MAX_ATTEMPTS`` tries and
+exponential ``REPRO_RETRY_BACKOFF`` between them), so
+:meth:`ExperimentRunner.run_many` always returns one result per requested
+pair, in order. A task that exhausts its attempts is marked failed with a
+reason — in the grid manifest and the run log — and the batch finishes the
+rest before raising :class:`GridTaskError`, instead of hanging or dying on
+the first casualty.
+
+Crash safety: artifacts read back from disk are verified — ``.espt``
+traces by their CRC32 footer, result-cache entries by the digest envelope
+of :mod:`repro.resilience.integrity`, grid manifests by an embedded body
+digest. A failed check quarantines the artifact under
+``<cache>/quarantine/`` (never a silent delete), bumps the
+``cache.corrupt`` metric, appends a ``corrupt`` run-log record, and
+regenerates. Every ``run_many`` batch records a grid manifest under
+``<cache>/manifests/`` (atomic rewrite per status change) so an
+interrupted campaign resumes from where it stopped via
+:meth:`ExperimentRunner.resume_grid` / ``repro run --resume``. The
+``REPRO_FAULTS`` spec (see :mod:`repro.resilience.faults`) injects
+deterministic corruption, torn writes, worker kills and grid interrupts
+through these same paths for testing.
 
 Observability: cache hits/misses/corruptions are counted in the
 :mod:`repro.obs.metrics` registry (no-op by default), every simulation
@@ -49,7 +67,6 @@ The per-figure experiment definitions live in :mod:`repro.sim.figures`.
 
 from __future__ import annotations
 
-import json
 import os
 import time
 import warnings
@@ -64,6 +81,9 @@ from repro.isa.tracefile import LoadedTrace, dump_trace, load_trace
 from repro.obs.metrics import get_registry
 from repro.obs.progress import ProgressLine
 from repro.obs.runlog import RunLogWriter, default_log_dir
+from repro.resilience import (GridManifest, config_from_dict,
+                              config_to_dict, get_fault_plan, quarantine,
+                              unwrap_result, wrap_result)
 from repro.sim.config import SimConfig
 from repro.sim.results import RESULT_SCHEMA, SimResult
 from repro.sim.simulator import Simulator
@@ -75,9 +95,14 @@ _SEED_ENV = "REPRO_SEED"
 _JOBS_ENV = "REPRO_JOBS"
 _TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
 _LOG_DIR_ENV = "REPRO_LOG_DIR"
+_MAX_ATTEMPTS_ENV = "REPRO_MAX_ATTEMPTS"
+_BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
 
 #: orphaned ``*.tmp`` files older than this are swept on construction
 STALE_TMP_SECONDS = 3600.0
+
+#: ceiling on the exponential retry backoff between task attempts
+MAX_BACKOFF_SECONDS = 30.0
 
 #: env vars already warned about (one warning per malformed variable)
 _warned_envs: set[str] = set()
@@ -129,6 +154,36 @@ def default_task_timeout() -> float | None:
     return timeout
 
 
+def default_max_attempts() -> int:
+    """Tries per grid task before it is marked failed, from
+    ``REPRO_MAX_ATTEMPTS`` (default 3, floor 1)."""
+    return max(1, _env_or_default(_MAX_ATTEMPTS_ENV, 3, int))
+
+
+def default_retry_backoff() -> float:
+    """Base delay in seconds between task attempts (doubles per retry,
+    capped at :data:`MAX_BACKOFF_SECONDS`), from ``REPRO_RETRY_BACKOFF``
+    (default 0.25)."""
+    return max(0.0, _env_or_default(_BACKOFF_ENV, 0.25, float))
+
+
+class GridTaskError(RuntimeError):
+    """Grid tasks exhausted their attempts.
+
+    ``failures`` holds ``(key, app, reason)`` triples. Every other task of
+    the batch still ran to completion and stayed cached, and the grid
+    manifest records the failures, so ``repro run --resume`` retries only
+    what failed.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        detail = ", ".join(f"{app}: {reason}"
+                           for _, app, reason in self.failures)
+        super().__init__(
+            f"{len(self.failures)} grid task(s) failed — {detail}")
+
+
 def _is_writable(path: Path) -> bool:
     """Whether ``path`` (or its nearest existing ancestor) is writable."""
     probe = path
@@ -158,10 +213,14 @@ def default_cache_dir() -> Path:
 
 def _run_remote(app: str, config: SimConfig, scale: float, seed: int,
                 cache_dir: str, use_disk_cache: bool,
-                log_dir: str | None = None) -> dict:
+                log_dir: str | None = None, attempt: int = 1) -> dict:
     """Worker-process entry point: run one simulation, sharing the on-disk
     caches — and the JSONL run log — with the parent (module-level so it
-    pickles under fork and spawn alike)."""
+    pickles under fork and spawn alike). ``attempt`` distinguishes retries
+    of the same task in fault-injection tokens, so an injected worker kill
+    cannot pin a task down across its whole attempt budget."""
+    get_fault_plan().maybe_kill_worker(
+        f"{app}-{config.cache_key()}#{attempt}")
     runner = ExperimentRunner(cache_dir=cache_dir, scale=scale, seed=seed,
                               use_disk_cache=use_disk_cache, jobs=1,
                               log_dir=log_dir)
@@ -176,11 +235,16 @@ class ExperimentRunner:
                  use_disk_cache: bool = True,
                  jobs: int | None = None,
                  task_timeout: float | None = None,
-                 log_dir: Path | str | None = None) -> None:
+                 log_dir: Path | str | None = None,
+                 max_attempts: int | None = None,
+                 retry_backoff: float | None = None) -> None:
         """``task_timeout`` (or ``REPRO_TASK_TIMEOUT``) bounds each
-        parallel task; ``log_dir`` forces JSONL run-logging into that
-        directory (default: on when ``REPRO_LOG_DIR`` is set or metrics
-        are enabled, next to the result cache)."""
+        task attempt; ``max_attempts`` / ``retry_backoff`` (or
+        ``REPRO_MAX_ATTEMPTS`` / ``REPRO_RETRY_BACKOFF``) shape the retry
+        schedule before a task is marked failed; ``log_dir`` forces JSONL
+        run-logging into that directory (default: on when
+        ``REPRO_LOG_DIR`` is set or metrics are enabled, next to the
+        result cache)."""
         self.scale = float(default_scale() if scale is None else scale)
         self.seed = default_seed() if seed is None else seed
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
@@ -189,6 +253,10 @@ class ExperimentRunner:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.task_timeout = default_task_timeout() if task_timeout is None \
             else (task_timeout if task_timeout > 0 else None)
+        self.max_attempts = default_max_attempts() if max_attempts is None \
+            else max(1, int(max_attempts))
+        self.retry_backoff = default_retry_backoff() \
+            if retry_backoff is None else max(0.0, float(retry_backoff))
         self.metrics = get_registry()
         if log_dir is not None:
             self._runlog = RunLogWriter(log_dir)
@@ -206,6 +274,34 @@ class ExperimentRunner:
             self._sweep_stale_tmp()
 
     # -- cache hygiene ---------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt artifacts are moved for post-mortem inspection."""
+        return self.cache_dir / "quarantine"
+
+    @property
+    def manifest_dir(self) -> Path:
+        """Where grid manifests (resumable campaign state) live."""
+        return self.cache_dir / "manifests"
+
+    def _note_corrupt(self, path: Path, artifact: str, key: str = "",
+                      app: str = "") -> Path | None:
+        """Account for one corrupt on-disk artifact: bump the corruption
+        metrics, append a ``corrupt`` run-log record, and quarantine the
+        file (returns the quarantine destination; ``None`` means the move
+        failed — read-only cache — and regeneration overwrites in place).
+        """
+        self.metrics.inc("cache.corrupt")
+        self.metrics.inc(f"cache.{artifact}.corrupt")
+        dest = quarantine(path, self.quarantine_dir)
+        if self._runlog.enabled:
+            self._runlog.write({
+                "kind": "corrupt", "ts": round(time.time(), 3),
+                "artifact": artifact, "path": path.name,
+                "quarantined": dest.name if dest else None,
+                "key": key, "app": app, "pid": os.getpid()})
+        return dest
 
     def _sweep_stale_tmp(self) -> None:
         """Remove ``*.tmp`` files orphaned by processes that died between
@@ -243,7 +339,8 @@ class ExperimentRunner:
         (app, scale, seed) in :mod:`repro.isa.tracefile` format and
         deserialised afterwards — generation costs one full CFG walk per
         event, decoding costs a fraction of that, and parallel workers
-        share the recording. Corrupt or stale-version files regenerate.
+        share the recording. Corrupt (CRC-footer mismatch, truncation) or
+        stale-version files are quarantined and regenerated.
         """
         cached = self._traces.get(app)
         if cached is not None:
@@ -255,8 +352,7 @@ class ExperimentRunner:
                 trace = load_trace(path, profile=get_app(app))
                 self.metrics.inc("cache.trace.hit")
             except (ValueError, EOFError, OSError):
-                self.metrics.inc("cache.trace.corrupt")
-                path.unlink(missing_ok=True)
+                self._note_corrupt(path, "trace", app=app)
                 trace = None
         if trace is None:
             self.metrics.inc("cache.trace.miss")
@@ -268,6 +364,14 @@ class ExperimentRunner:
                     dump_trace(trace, path)
                 except OSError:
                     pass  # a read-only cache just loses the speedup
+                else:
+                    plan = get_fault_plan()
+                    if plan.active and plan.corrupt_file(
+                            path, f"trace:{path.name}"):
+                        # injected corruption: keep the (correct) trace
+                        # out of the memory cache so the next lookup
+                        # exercises detect + quarantine + regenerate
+                        return trace
         self._traces[app] = trace
         return trace
 
@@ -285,13 +389,14 @@ class ExperimentRunner:
             path = self.cache_dir / f"{key}.json"
             if path.exists():
                 try:
-                    result = SimResult.from_dict(
-                        json.loads(path.read_text()))
+                    payload, _verified = unwrap_result(path.read_text())
+                    result = SimResult.from_dict(payload)
                     self._memory[key] = result
                     return result
-                except (json.JSONDecodeError, TypeError, KeyError):
-                    self.metrics.inc("cache.result.corrupt")
-                    path.unlink(missing_ok=True)
+                except (ValueError, TypeError, KeyError, OSError):
+                    # IntegrityError and JSONDecodeError are ValueErrors:
+                    # torn writes, bit flips and stale layouts land here
+                    self._note_corrupt(path, "result", key=key)
         return None
 
     def _fetch_cached(self, key: str, app: str,
@@ -310,11 +415,19 @@ class ExperimentRunner:
         if self.use_disk_cache:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             path = self.cache_dir / f"{key}.json"
+            payload = wrap_result(result.to_dict())
+            plan = get_fault_plan()
+            if plan.active:
+                torn = plan.torn(payload, f"store:{key}")
+                if torn is not None:
+                    # injected torn write: half an envelope lands, which
+                    # the next reader's digest check must catch
+                    payload = torn
             # write-to-temp + atomic rename: concurrent writers of the
             # same key each land a complete file, readers never see a
             # partial one (keys contain dots, so no with_suffix here)
             tmp = path.parent / (path.name + f".{os.getpid()}.tmp")
-            tmp.write_text(json.dumps(result.to_dict()))
+            tmp.write_text(payload)
             os.replace(tmp, path)
             self.metrics.inc("cache.result.stored")
 
@@ -341,6 +454,15 @@ class ExperimentRunner:
             return
         self._runlog.write({
             "kind": "retry", "ts": round(time.time(), 3), "key": key,
+            "app": app, "reason": reason, "pid": os.getpid()})
+
+    def _log_task_failed(self, key: str, app: str, reason: str) -> None:
+        """Append one ``task-failed`` record and bump its metric."""
+        self.metrics.inc("runner.task_failures")
+        if not self._runlog.enabled:
+            return
+        self._runlog.write({
+            "kind": "task-failed", "ts": round(time.time(), 3), "key": key,
             "app": app, "reason": reason, "pid": os.getpid()})
 
     def run(self, app: str, config: SimConfig, **run_kwargs) -> SimResult:
@@ -376,36 +498,45 @@ class ExperimentRunner:
 
     # -- parallel fan-out -----------------------------------------------------
 
-    def run_many(self, pairs: Iterable[tuple[str, SimConfig]]
-                 ) -> list[SimResult]:
+    def run_many(self, pairs: Iterable[tuple[str, SimConfig]],
+                 label: str | None = None) -> list[SimResult]:
         """Run every (app, config) pair, fanning uncached ones over
         ``self.jobs`` worker processes.
 
         Results come back in ``pairs`` order — always one per pair, even
         when a worker process dies or times out mid-batch (its tasks are
-        completed serially in the parent; see :meth:`_run_parallel`) —
-        and are bit-identical to serial runs: each simulation is a pure
-        function of its key, and workers share the parent's on-disk
-        caches via atomic writes. If the platform cannot spawn worker
-        processes (restricted sandboxes), the batch silently degrades to
-        serial execution; worker-side simulation errors propagate
-        unchanged.
+        completed serially in the parent, timeout-bounded, with retries
+        and exponential backoff) — and are bit-identical to serial runs:
+        each simulation is a pure function of its key, and workers share
+        the parent's on-disk caches via atomic writes. If the platform
+        cannot spawn worker processes (restricted sandboxes), the batch
+        silently degrades to serial execution.
+
+        The batch's tasks are recorded in a grid manifest under
+        ``<cache>/manifests/`` whose statuses update atomically as tasks
+        finish, so an interrupted campaign resumes via
+        :meth:`resume_grid`. A task that exhausts ``max_attempts`` is
+        marked failed with its reason instead of blocking the rest; when
+        any task failed, :class:`GridTaskError` is raised after the whole
+        batch has been processed.
         """
         pairs = list(pairs)
         results: dict[str, SimResult] = {}
-        todo: list[tuple[str, str, SimConfig]] = []
-        queued: set[str] = set()
+        unique: list[tuple[str, str, SimConfig]] = []
+        seen: set[str] = set()
         for app, config in pairs:
             key = self._key(app, config)
-            if key in queued or key in results:
+            if key in seen:
                 continue
+            seen.add(key)
+            unique.append((key, app, config))
+        for key, app, config in unique:
             cached = self._fetch_cached(key, app, config)
             if cached is not None:
                 results[key] = cached
-            else:
-                queued.add(key)
-                todo.append((key, app, config))
-        progress = ProgressLine(len(results) + len(todo), label="sims")
+        todo = [entry for entry in unique if entry[0] not in results]
+        manifest = self._grid_manifest(unique, results, label)
+        progress = ProgressLine(len(unique), label="sims")
         progress.advance(len(results), note="cached")
         if todo and self.jobs > 1:
             # record the traces before forking so workers load instead of
@@ -413,18 +544,133 @@ class ExperimentRunner:
             if self.use_disk_cache:
                 for app in {app for _, app, _ in todo}:
                     self.trace(app)
+            if manifest is not None:
+                manifest.record_attempts([key for key, _, _ in todo])
             missing = self._run_parallel(todo, results, progress)
+            if manifest is not None:
+                manifest.mark_many(
+                    [key for key, _, _ in todo if key in results], "done")
         else:
             missing = todo
+        plan = get_fault_plan()
+        failures: list[tuple[str, str, str]] = []
         try:
             for key, app, config in missing:
-                results[key] = self.run(app, config)
-                progress.advance(note=app)
+                if plan.active:
+                    plan.maybe_interrupt(f"grid:{key}")
+                result, reason = self._complete_serially(
+                    key, app, config, manifest)
+                if result is not None:
+                    results[key] = result
+                    if manifest is not None:
+                        manifest.mark(key, "done")
+                    progress.advance(note=app)
+                else:
+                    failures.append((key, app, reason))
+                    if manifest is not None:
+                        manifest.mark(key, "failed", error=reason)
+                    self._log_task_failed(key, app, reason)
+                    progress.advance(note=f"{app} failed")
         finally:
             progress.close()
+        if failures:
+            raise GridTaskError(failures)
+        if manifest is not None:
+            manifest.finish()
         out = [results[self._key(app, config)] for app, config in pairs]
         assert len(out) == len(pairs)
         return out
+
+    def _grid_manifest(self, unique, results, label) -> GridManifest | None:
+        """The batch's manifest (cached tasks pre-marked done), or None
+        when the disk cache is off or the manifest cannot be written."""
+        if not self.use_disk_cache or not unique:
+            return None
+        tasks = [{"key": key, "app": app, "config_name": config.name,
+                  "config_digest": config.cache_key(),
+                  "config": config_to_dict(config)}
+                 for key, app, config in unique]
+        try:
+            manifest = GridManifest.create_or_load(
+                self.manifest_dir, tasks, scale=self.scale,
+                seed=self.seed, label=label)
+        except OSError:
+            return None  # read-only cache: the campaign isn't resumable
+        done = [key for key, _, _ in unique if key in results]
+        if done:
+            manifest.mark_many(done, "done")
+        return manifest
+
+    def _complete_serially(self, key: str, app: str, config: SimConfig,
+                           manifest: GridManifest | None
+                           ) -> tuple[SimResult | None, str | None]:
+        """Finish one task in the parent with attempt accounting and
+        exponential backoff: ``(result, None)`` on success, else
+        ``(None, reason)`` once :attr:`max_attempts` is exhausted —
+        a hung or crashing task is marked failed, never left blocking
+        the rest of the grid.
+        """
+        reason = "unknown"
+        for attempt in range(1, self.max_attempts + 1):
+            if attempt > 1:
+                delay = min(self.retry_backoff * 2 ** (attempt - 2),
+                            MAX_BACKOFF_SECONDS)
+                if delay > 0:
+                    time.sleep(delay)
+            if manifest is not None:
+                manifest.record_attempts([key])
+            try:
+                return self._attempt_once(key, app, config, attempt), None
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except FutureTimeoutError:
+                reason = f"timeout after {self.task_timeout}s"
+                self.retries += 1
+                self.metrics.inc("runner.task_timeouts")
+                self._log_retry(key, app, "timeout")
+            except BrokenProcessPool:
+                reason = "worker died"
+                self.retries += 1
+                self.metrics.inc("runner.worker_deaths")
+                self._log_retry(key, app, "worker-died")
+            except Exception as exc:  # noqa: BLE001 — reported, not lost
+                reason = f"{type(exc).__name__}: {exc}"
+                self.metrics.inc("runner.task_errors")
+                self._log_retry(key, app, "error")
+        return None, f"{reason} (after {self.max_attempts} attempts)"
+
+    def _attempt_once(self, key: str, app: str, config: SimConfig,
+                      attempt: int) -> SimResult:
+        """One bounded try at a task: inline when no ``task_timeout`` is
+        set, otherwise under a throwaway single-worker pool so the
+        timeout is enforceable (a hung simulation cannot be interrupted
+        in-process). Degrades to the unbounded inline run when pools are
+        unavailable."""
+        if self.task_timeout is None:
+            return self.run(app, config)
+        try:
+            pool = ProcessPoolExecutor(max_workers=1)
+        except (OSError, PermissionError, ValueError):
+            return self.run(app, config)
+        wait_on_exit = True
+        try:
+            worker_log_dir = str(self._runlog.log_dir) \
+                if self._runlog.enabled else None
+            future = pool.submit(
+                _run_remote, app, config, self.scale, self.seed,
+                str(self.cache_dir), self.use_disk_cache, worker_log_dir,
+                attempt)
+            try:
+                payload = future.result(timeout=self.task_timeout)
+            except FutureTimeoutError:
+                wait_on_exit = False
+                future.cancel()
+                raise
+            result = SimResult.from_dict(payload)
+            self._memory[key] = result
+            return result
+        finally:
+            pool.shutdown(wait=wait_on_exit, cancel_futures=True)
 
     def _run_parallel(self, todo: list[tuple[str, str, SimConfig]],
                       results: dict[str, SimResult],
@@ -493,12 +739,46 @@ class ExperimentRunner:
             out[config.name] = {app: next(it) for app in apps}
         return out
 
+    def resume_grid(self) -> tuple[GridManifest, list[SimResult]] | None:
+        """Resume the most recent incomplete campaign in this cache.
+
+        Loads the newest unfinished grid manifest, re-arms its failed
+        tasks with a fresh attempt budget, rebuilds the (app, config)
+        pairs from the recorded configurations — they round-trip through
+        :func:`repro.resilience.config_from_dict`, so resumed tasks hit
+        the same cache keys — and re-runs the grid (done tasks are cache
+        hits, only pending/failed work executes). Returns the refreshed
+        manifest and the full, ordered result list, or ``None`` when no
+        incomplete campaign exists. A manifest recorded at a different
+        scale/seed is resumed at *its* scale/seed, not this runner's.
+        """
+        manifest = GridManifest.latest_incomplete(self.manifest_dir)
+        if manifest is None:
+            return None
+        runner = self
+        if (self.scale, self.seed) != (manifest.scale, manifest.seed):
+            runner = ExperimentRunner(
+                cache_dir=self.cache_dir, scale=manifest.scale,
+                seed=manifest.seed, use_disk_cache=self.use_disk_cache,
+                jobs=self.jobs, task_timeout=self.task_timeout,
+                max_attempts=self.max_attempts,
+                retry_backoff=self.retry_backoff)
+        manifest.reset_failed()
+        pairs = [(task["app"], config_from_dict(task["config"]))
+                 for task in manifest.tasks_in_order()]
+        results = runner.run_many(pairs, label=manifest.label)
+        return GridManifest.load(manifest.path), results
+
     def clear_cache(self) -> None:
-        """Drop the in-memory caches and delete this runner's disk cache."""
+        """Drop the in-memory caches and delete this runner's disk cache
+        (manifests included; quarantined artifacts are kept — they are
+        the forensic record of past corruption)."""
         self._memory.clear()
         self._traces.clear()
         if self.cache_dir.exists():
             for path in self.cache_dir.glob("*.json"):
                 path.unlink()
             for path in self.cache_dir.glob("traces/*.espt"):
+                path.unlink()
+            for path in self.cache_dir.glob("manifests/grid-*.json"):
                 path.unlink()

@@ -94,10 +94,12 @@ class ParameterSweep:
             configs.append(config.replace(
                 name=f"{self.base.name}[{self.knob}={value}]"))
         # run_many returns one result per pair in order, so the rows can
-        # be sliced straight out of the flat batch
+        # be sliced straight out of the flat batch; the label names the
+        # grid manifest a crashed sweep leaves behind for --resume
         flat = runner.run_many([(app, cfg)
                                 for cfg in [self.baseline] + configs
-                                for app in apps])
+                                for app in apps],
+                               label=f"sweep:{self.base.name}:{self.knob}")
         it = iter(flat)
         base_results = {app: next(it) for app in apps}
         sweep = SweepResult(knob=self.knob)

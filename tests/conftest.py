@@ -40,6 +40,21 @@ TINY_APP = AppProfile(
 )
 
 
+@pytest.fixture(autouse=True)
+def _shield_fault_injection(request, monkeypatch):
+    """Keep an ambient ``REPRO_FAULTS`` (the chaos CI leg exports one) out
+    of tests that don't opt in via the ``chaos`` marker, and re-arm the
+    process-wide fault plan around every test so one test's spec never
+    leaks into the next."""
+    from repro.resilience import faults
+
+    if request.node.get_closest_marker("chaos") is None:
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    faults.set_fault_plan(None)
+    yield
+    faults.set_fault_plan(None)
+
+
 @pytest.fixture(scope="session")
 def tiny_app() -> AppProfile:
     return TINY_APP

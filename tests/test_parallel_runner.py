@@ -14,8 +14,10 @@ from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
+from repro.resilience import GridManifest, unwrap_result
 from repro.sim import presets
-from repro.sim.experiments import ExperimentRunner, _run_remote
+from repro.sim.experiments import (ExperimentRunner, GridTaskError,
+                                   _run_remote)
 from repro.sim.results import SimResult
 
 APPS = ["bing", "pixlr"]
@@ -23,18 +25,27 @@ CONFIGS = ["baseline", "nl"]
 
 
 def _always_dying_remote(app, config, scale, seed, cache_dir,
-                         use_disk_cache, log_dir=None):
+                         use_disk_cache, log_dir=None, attempt=1):
     """Worker stand-in that dies before producing any result (module-level
     so it pickles into the pool under fork and spawn alike)."""
     os._exit(3)
 
 
 def _slow_remote(app, config, scale, seed, cache_dir, use_disk_cache,
-                 log_dir=None):
+                 log_dir=None, attempt=1):
     """Worker stand-in that outlives any reasonable per-task timeout."""
     time.sleep(2.0)
     return _run_remote(app, config, scale, seed, cache_dir, use_disk_cache,
-                       log_dir)
+                       log_dir, attempt)
+
+
+def _flaky_remote(app, config, scale, seed, cache_dir, use_disk_cache,
+                  log_dir=None, attempt=1):
+    """Worker stand-in that hangs for bing and behaves for everyone else."""
+    if app == "bing":
+        time.sleep(2.0)
+    return _run_remote(app, config, scale, seed, cache_dir, use_disk_cache,
+                       log_dir, attempt)
 
 
 def _grid_dicts(runner):
@@ -112,8 +123,9 @@ class TestCacheIntegrity:
             assert result.to_dict() == reference
         cache_files = [p for p in tmp_path.glob("*.json")]
         assert len(cache_files) == 1
-        assert SimResult.from_dict(
-            json.loads(cache_files[0].read_text())).to_dict() == reference
+        payload, verified = unwrap_result(cache_files[0].read_text())
+        assert verified  # freshly written entries carry a valid digest
+        assert SimResult.from_dict(payload).to_dict() == reference
         assert not list(tmp_path.glob("*.tmp"))
 
 
@@ -169,16 +181,45 @@ class TestFaultTolerance:
         assert ([r.to_dict() for r in results]
                 == [r.to_dict() for r in reference])
 
-    def test_task_timeout_retries_serially(self, tmp_path, monkeypatch):
+    def test_task_timeout_marks_failed_instead_of_hanging(self, tmp_path,
+                                                          monkeypatch):
+        """A task that can never beat the timeout — parallel or serial —
+        exhausts its attempts and is marked failed with a reason; the
+        grid terminates instead of hanging on the serial retry."""
         monkeypatch.setattr("repro.sim.experiments._run_remote",
                             _slow_remote)
         runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
-                                  jobs=2, task_timeout=0.2)
-        results = runner.run_many([("bing", presets.baseline())])
-        assert len(results) == 1
-        assert results[0].app == "bing"
-        assert results[0].instructions > 0
-        assert runner.retries == 1
+                                  jobs=2, task_timeout=0.2,
+                                  max_attempts=2, retry_backoff=0.01)
+        with pytest.raises(GridTaskError) as info:
+            runner.run_many([("bing", presets.baseline())])
+        assert "timeout" in str(info.value)
+        assert runner.retries >= 1
+        (failed_key, failed_app, reason) = info.value.failures[0]
+        assert failed_app == "bing"
+        assert "attempts" in reason
+        manifest = GridManifest.latest_incomplete(tmp_path / "manifests")
+        assert manifest is not None
+        task = manifest.tasks[failed_key]
+        assert task["status"] == "failed"
+        assert task["attempts"] >= 2
+        assert "timeout" in task["error"]
+
+    def test_serial_timeout_failure_does_not_block_other_tasks(
+            self, tmp_path, monkeypatch):
+        """Other tasks of the grid still complete (and stay cached) when
+        one task burns its whole attempt budget."""
+        monkeypatch.setattr("repro.sim.experiments._run_remote",
+                            _flaky_remote)
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  jobs=1, task_timeout=0.3,
+                                  max_attempts=1)
+        baseline = presets.baseline()
+        with pytest.raises(GridTaskError):
+            runner.run_many([("bing", baseline), ("pixlr", baseline)])
+        fresh = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                 jobs=1)
+        assert fresh.run("pixlr", baseline).app == "pixlr"
 
     def test_timeout_env_configures_runner(self, monkeypatch):
         monkeypatch.setenv("REPRO_TASK_TIMEOUT", "1.5")

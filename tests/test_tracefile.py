@@ -6,6 +6,9 @@ import pytest
 
 from repro.isa import KIND_ALU, KIND_BRANCH, KIND_LOAD, Instruction
 from repro.isa.tracefile import (
+    _FOOTER_LEN,
+    FOOTER_MAGIC,
+    TraceIntegrityError,
     _read_varint,
     _unzigzag,
     _write_varint,
@@ -109,8 +112,97 @@ class TestTraceRoundtrip:
         path = tmp_path / "trace.espt"
         dump_trace(trace, path)
         path.write_bytes(path.read_bytes()[:100])
-        with pytest.raises(EOFError):
+        with pytest.raises((EOFError, ValueError)):
             load_trace(path)
+
+
+def _events(loaded):
+    return [(loaded.event(k).true_stream, loaded.event(k).spec_stream)
+            for k in range(len(loaded))]
+
+
+class TestTraceIntegrity:
+    """The CRC32 footer: corruption anywhere is detected — a load either
+    raises or decodes streams identical to the original, never wrong
+    data."""
+
+    @pytest.fixture(scope="class")
+    def recorded(self, tiny_app, tmp_path_factory):
+        trace = EventTrace(tiny_app)
+        path = tmp_path_factory.mktemp("traces") / "trace.espt"
+        dump_trace(trace, path)
+        return trace, path, path.read_bytes()
+
+    def test_footer_present(self, recorded):
+        _, _, payload = recorded
+        assert payload[-_FOOTER_LEN:-4] == FOOTER_MAGIC
+
+    def test_zero_length_file(self, tmp_path):
+        path = tmp_path / "empty.espt"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_v2_file_without_footer_still_loads(self, tiny_app, recorded,
+                                                tmp_path):
+        """Pre-footer (version 2) files are readable, unverified."""
+        trace, _, payload = recorded
+        legacy = bytearray(payload[:-_FOOTER_LEN])
+        assert legacy[4] == 3  # version varint right after the magic
+        legacy[4] = 2
+        path = tmp_path / "legacy.espt"
+        path.write_bytes(bytes(legacy))
+        loaded = load_trace(path, profile=tiny_app)
+        assert len(loaded) == len(trace)
+        assert loaded.event(0).true_stream == trace.event(0).true_stream
+
+    @pytest.mark.parametrize("region", ["header", "varint_index", "stream",
+                                        "footer"])
+    def test_bit_flip_every_region_detected(self, tiny_app, recorded,
+                                            tmp_path, region):
+        """Flipping a bit in any byte region either raises on load or
+        leaves the decoded streams bit-identical (a flip of the version
+        byte to the legacy value changes no payload bytes)."""
+        trace, path, payload = recorded
+        spans = {
+            "header": range(0, 12),
+            "varint_index": range(12, 24),
+            "stream": range(24, len(payload) - _FOOTER_LEN),
+            "footer": range(len(payload) - _FOOTER_LEN, len(payload)),
+        }[region]
+        reference = None
+        step = max(1, len(spans) // 64)  # sample long regions
+        for at in list(spans)[::step]:
+            for bit in (0x01, 0x80):
+                corrupt = bytearray(payload)
+                corrupt[at] ^= bit
+                target = tmp_path / "corrupt.espt"
+                target.write_bytes(bytes(corrupt))
+                try:
+                    loaded = load_trace(target, profile=tiny_app)
+                except (ValueError, EOFError, KeyError):
+                    continue  # detected: ValueError covers the CRC error
+                if reference is None:
+                    reference = _events(load_trace(path, profile=tiny_app))
+                assert _events(loaded) == reference, \
+                    f"silent wrong decode at byte {at} bit {bit:#x}"
+
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.1, 0.5, 0.9, 0.999])
+    def test_truncation_everywhere_detected(self, tiny_app, recorded,
+                                            tmp_path, keep_fraction):
+        _, _, payload = recorded
+        cut = int(len(payload) * keep_fraction)
+        path = tmp_path / "truncated.espt"
+        path.write_bytes(payload[:cut])
+        with pytest.raises((ValueError, EOFError)):
+            load_trace(path, profile=tiny_app)
+
+    def test_appended_garbage_detected(self, tiny_app, recorded, tmp_path):
+        _, _, payload = recorded
+        path = tmp_path / "padded.espt"
+        path.write_bytes(payload + b"\x00garbage")
+        with pytest.raises(TraceIntegrityError):
+            load_trace(path, profile=tiny_app)
 
 
 class TestStreamEncoding:
