@@ -14,7 +14,8 @@ Commands:
 * ``presets`` — list the named machine configurations.
 * ``inspect`` — per-event anatomy of one app's trace.
 * ``stats`` — aggregate the harness's JSONL run logs (cache hit rates,
-  per-app wall-clock and throughput, retry counts); ``--json`` emits the
+  per-app wall-clock and throughput, retry counts, checkpoints written,
+  checkpoint resumes and stalled-worker kills); ``--json`` emits the
   machine-readable summary instead of the table.
 """
 

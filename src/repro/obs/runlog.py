@@ -14,13 +14,20 @@ Record kinds (``kind`` field):
   scale, seed, worker pid, cache disposition (``memory`` / ``disk`` /
   ``simulated``) and the trace-load / simulate / store timings in seconds.
 * ``retry`` — one failed task attempt that will be (or was) re-tried, with
-  the reason (``worker-died`` / ``timeout`` / ``error``).
+  the reason (``worker-died`` / ``timeout`` / ``memory`` / ``error``).
 * ``corrupt`` — an on-disk artifact (``trace`` / ``result`` / ``manifest``)
   failed its integrity check and was quarantined: artifact kind, original
   filename, quarantine filename (None when the move failed), and the cache
   key / app when known.
 * ``task-failed`` — a grid task that exhausted its attempt budget and was
   marked failed in the grid manifest, with its final reason.
+* ``checkpoint`` — one mid-simulation checkpoint generation persisted:
+  cache key, app, the event position it covers.
+* ``resume`` — a simulation restored from a checkpoint: cache key, app,
+  the resumed event position, and how many corrupt generations were
+  skipped (quarantined) on the way (``fallbacks``).
+* ``stalled`` — the heartbeat watchdog killed a stalled worker: task key,
+  app, the worker pid and its heartbeat age in seconds.
 """
 
 from __future__ import annotations

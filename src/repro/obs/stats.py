@@ -2,8 +2,10 @@
 
 Backs the ``repro stats`` CLI subcommand: reads the records written by
 :mod:`repro.obs.runlog`, and reduces them to per-app throughput, cache hit
-rates, retry counts, detected cache corruptions (per artifact kind) and
-permanently failed tasks — a human-readable table plus a machine-readable
+rates, retry counts, detected cache corruptions (per artifact kind),
+permanently failed tasks and the mid-simulation resilience activity —
+checkpoints written, resumes (with generation fallbacks) and
+stalled-worker kills — as a human-readable table plus a machine-readable
 summary dict (``--json``). Every quarantine event the harness performs is
 a ``corrupt`` record, so this report is the audit trail of how much
 on-disk state had to be regenerated.
@@ -17,6 +19,7 @@ _HIT_DISPOSITIONS = ("memory", "disk")
 def _fresh_app_bucket() -> dict:
     return {"runs": 0, "simulated": 0, "cache_hits": 0, "retries": 0,
             "corruptions": 0, "failures": 0,
+            "checkpoints": 0, "resumes": 0,
             "trace_load_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
 
 
@@ -29,16 +32,19 @@ def summarize(records) -> dict:
          "cache_hit_rate": float, "retries": int,
          "corruptions": int, "corrupt_by_artifact": {artifact: int},
          "task_failures": int,
+         "checkpoints": int, "resumes": int, "resume_fallbacks": int,
+         "stalled_kills": int,
          "simulate_s": float, "apps": {app: {...per-app...}}}
 
     Per-app buckets carry run/hit/retry/corruption/failure counts, the
-    summed trace-load / simulate / store seconds, the mean simulation
-    time and the simulation throughput (simulated runs per second of
-    simulate time).
+    checkpoint/resume counts, the summed trace-load / simulate / store
+    seconds, the mean simulation time and the simulation throughput
+    (simulated runs per second of simulate time).
     """
     apps: dict[str, dict] = {}
     runs = simulated = cache_hits = retries = 0
     corruptions = task_failures = 0
+    checkpoints = resumes = resume_fallbacks = stalled_kills = 0
     corrupt_by_artifact: dict[str, int] = {}
     for record in records:
         kind = record.get("kind")
@@ -71,6 +77,17 @@ def summarize(records) -> dict:
         elif kind == "task-failed":
             task_failures += 1
             apps.setdefault(app, _fresh_app_bucket())["failures"] += 1
+        elif kind == "checkpoint":
+            checkpoints += 1
+            apps.setdefault(app, _fresh_app_bucket())["checkpoints"] += 1
+        elif kind == "resume":
+            resumes += 1
+            apps.setdefault(app, _fresh_app_bucket())["resumes"] += 1
+            fallbacks = record.get("fallbacks")
+            if isinstance(fallbacks, int):
+                resume_fallbacks += fallbacks
+        elif kind == "stalled":
+            stalled_kills += 1
     for bucket in apps.values():
         sim_s = bucket["simulate_s"]
         n_sim = bucket["simulated"]
@@ -88,6 +105,10 @@ def summarize(records) -> dict:
         "corrupt_by_artifact": {a: corrupt_by_artifact[a]
                                 for a in sorted(corrupt_by_artifact)},
         "task_failures": task_failures,
+        "checkpoints": checkpoints,
+        "resumes": resumes,
+        "resume_fallbacks": resume_fallbacks,
+        "stalled_kills": stalled_kills,
         "simulate_s": sum(b["simulate_s"] for b in apps.values()),
         "apps": {app: apps[app] for app in sorted(apps)},
     }
@@ -96,12 +117,14 @@ def summarize(records) -> dict:
 def format_table(summary: dict) -> str:
     """Render a :func:`summarize` dict as a fixed-width text table."""
     if not summary["runs"] and not summary["retries"] \
-            and not summary.get("corruptions"):
+            and not summary.get("corruptions") \
+            and not summary.get("checkpoints") \
+            and not summary.get("stalled_kills"):
         return "no run records found"
     lines = [
         f"{'app':<12} {'runs':>6} {'sim':>6} {'hits':>6} {'hit%':>6} "
         f"{'sim s':>9} {'mean s':>8} {'sims/s':>8} {'retry':>5} "
-        f"{'corr':>4} {'fail':>4}"
+        f"{'corr':>4} {'fail':>4} {'ckpt':>5} {'res':>4}"
     ]
     for app, b in summary["apps"].items():
         lines.append(
@@ -109,16 +132,25 @@ def format_table(summary: dict) -> str:
             f"{b['cache_hits']:>6} {100 * b['hit_rate']:>5.1f}% "
             f"{b['simulate_s']:>9.3f} {b['mean_simulate_s']:>8.3f} "
             f"{b['throughput_per_s']:>8.2f} {b['retries']:>5} "
-            f"{b.get('corruptions', 0):>4} {b.get('failures', 0):>4}")
+            f"{b.get('corruptions', 0):>4} {b.get('failures', 0):>4} "
+            f"{b.get('checkpoints', 0):>5} {b.get('resumes', 0):>4}")
     lines.append(
         f"{'total':<12} {summary['runs']:>6} {summary['simulated']:>6} "
         f"{summary['cache_hits']:>6} "
         f"{100 * summary['cache_hit_rate']:>5.1f}% "
         f"{summary['simulate_s']:>9.3f} {'':>8} {'':>8} "
         f"{summary['retries']:>5} {summary.get('corruptions', 0):>4} "
-        f"{summary.get('task_failures', 0):>4}")
+        f"{summary.get('task_failures', 0):>4} "
+        f"{summary.get('checkpoints', 0):>5} "
+        f"{summary.get('resumes', 0):>4}")
     if summary.get("corrupt_by_artifact"):
         detail = ", ".join(f"{artifact}: {count}" for artifact, count
                            in summary["corrupt_by_artifact"].items())
         lines.append(f"corrupt artifacts quarantined — {detail}")
+    if summary.get("resumes") or summary.get("stalled_kills") \
+            or summary.get("resume_fallbacks"):
+        lines.append(
+            f"resilience — resumes: {summary.get('resumes', 0)}, "
+            f"generation fallbacks: {summary.get('resume_fallbacks', 0)}, "
+            f"stalled workers killed: {summary.get('stalled_kills', 0)}")
     return "\n".join(lines)

@@ -1,18 +1,24 @@
 """Crash-safe, self-healing persistence for the experiment harness.
 
 Every durable artifact the harness writes — ``.espt`` traces, result-cache
-JSON, grid manifests — can be hit by bit-flips, torn writes, or partial
-sweeps. This package makes that corruption *detectable* (content
-checksums, :mod:`repro.resilience.integrity`), *visible* (quarantine
-directory, ``cache.corrupt`` metrics, ``corrupt`` run-log records) and
-*recoverable* (regeneration plus resumable grid manifests,
-:mod:`repro.resilience.manifest`). A deterministic fault-injection
+JSON, grid manifests, mid-simulation checkpoints — can be hit by
+bit-flips, torn writes, or partial sweeps. This package makes that
+corruption *detectable* (content checksums,
+:mod:`repro.resilience.integrity`), *visible* (quarantine directory,
+``cache.corrupt`` metrics, ``corrupt`` run-log records) and *recoverable*
+(regeneration, resumable grid manifests via
+:mod:`repro.resilience.manifest`, and generational checkpoint resume via
+:mod:`repro.resilience.checkpoint`). Live failures are covered too:
+:mod:`repro.resilience.watchdog` supervises worker heartbeats, kills
+stalled workers, and guards disk/memory pressure so retries resume from
+checkpoints instead of repeating work. A deterministic fault-injection
 harness (:mod:`repro.resilience.faults`, ``REPRO_FAULTS``) proves the
-recovery paths: a figure grid run under injected worker kills, artifact
-corruption and torn writes must still produce results bit-identical to a
-clean serial run.
+recovery paths: a figure grid run under injected worker kills (at task
+start or mid-simulation), worker stalls, artifact corruption and torn
+writes must still produce results bit-identical to a clean serial run.
 """
 
+from repro.resilience.checkpoint import CheckpointStore
 from repro.resilience.faults import (FaultPlan, GridInterrupt,
                                      get_fault_plan, set_fault_plan)
 from repro.resilience.integrity import (IntegrityError, payload_digest,
@@ -20,17 +26,27 @@ from repro.resilience.integrity import (IntegrityError, payload_digest,
                                         wrap_result)
 from repro.resilience.manifest import (GridManifest, config_from_dict,
                                        config_to_dict)
+from repro.resilience.watchdog import (Heartbeat, MemoryPressure,
+                                       WorkerWatchdog, apply_memory_limit,
+                                       check_memory, rss_bytes)
 
 __all__ = [
+    "CheckpointStore",
     "FaultPlan",
     "GridInterrupt",
     "GridManifest",
+    "Heartbeat",
     "IntegrityError",
+    "MemoryPressure",
+    "WorkerWatchdog",
+    "apply_memory_limit",
+    "check_memory",
     "config_from_dict",
     "config_to_dict",
     "get_fault_plan",
     "payload_digest",
     "quarantine",
+    "rss_bytes",
     "set_fault_plan",
     "unwrap_result",
     "wrap_result",

@@ -1,0 +1,236 @@
+"""Worker liveness supervision and resource-pressure guards.
+
+Three independent mechanisms keep a long campaign from being taken down
+by one sick worker or a starved machine:
+
+* **Heartbeats** (:class:`Heartbeat`) — each pool worker owns one file
+  under ``<cache>/heartbeats/`` whose mtime it advances (throttled) at
+  every event boundary. The file body records the worker pid, the
+  supervising parent pid, and the task being simulated.
+* **Watchdog** (:class:`WorkerWatchdog`) — a daemon thread in the parent
+  sweeps the heartbeat directory; a file whose mtime is older than the
+  configured timeout marks a stalled worker, which is killed (SIGKILL)
+  so the process pool's broken-pool recovery re-runs the task — from its
+  newest checkpoint, not from scratch. Only heartbeats naming *this*
+  parent are ever acted on; other campaigns' files are left alone unless
+  they are ancient orphans.
+* **Memory guard** (:func:`apply_memory_limit` / :func:`check_memory`) —
+  a best-effort address-space rlimit in the worker plus a periodic
+  peak-RSS check that raises :class:`MemoryPressure` at an event
+  boundary, converting a would-be OOM kill into an orderly, checkpointed
+  retry at reduced fan-out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+
+
+class MemoryPressure(MemoryError):
+    """The worker's peak RSS crossed the configured ceiling. Subclasses
+    :class:`MemoryError` (and lives at module level, so it pickles across
+    the process-pool boundary) — the runner treats it like the OOM kill
+    it preempts, minus the lost work."""
+
+
+def rss_bytes() -> int | None:
+    """This process's peak resident set size in bytes, or None when the
+    platform offers no ``resource`` module."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports kilobytes, macOS bytes
+    return peak * 1024 if sys.platform.startswith("linux") else peak
+
+
+def apply_memory_limit(limit_mb: int) -> bool:
+    """Best-effort address-space rlimit on the calling process. Returns
+    whether a limit was installed; platforms without
+    ``resource``/``RLIMIT_AS`` simply skip it (the periodic
+    :func:`check_memory` still guards them).
+
+    The rlimit is set at 4× the RSS ceiling: address space runs well
+    ahead of resident memory, so the rlimit is only the hard backstop
+    against runaway allocation — the graceful path is
+    :func:`check_memory` raising :class:`MemoryPressure` at an event
+    boundary, while a checkpoint is still recent.
+    """
+    if limit_mb <= 0:
+        return False
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return False
+    try:
+        _soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        limit = limit_mb * 4 * 1024 * 1024
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+        return True
+    except (AttributeError, ValueError, OSError):
+        return False
+
+
+def check_memory(limit_mb: int) -> None:
+    """Raise :class:`MemoryPressure` when peak RSS exceeds ``limit_mb``
+    megabytes; a no-op when unmeasurable or ``limit_mb`` is 0."""
+    if limit_mb <= 0:
+        return
+    rss = rss_bytes()
+    if rss is not None and rss > limit_mb * 1024 * 1024:
+        raise MemoryPressure(
+            f"worker peak RSS {rss // (1024 * 1024)} MiB exceeds the "
+            f"{limit_mb} MiB ceiling")
+
+
+class Heartbeat:
+    """One worker's liveness beacon."""
+
+    def __init__(self, cache_dir: Path | str, key: str, app: str = "",
+                 interval: float = 1.0) -> None:
+        self.path = Path(cache_dir) / "heartbeats" / f"hb-{os.getpid()}.json"
+        self.interval = interval
+        self._last_beat = 0.0
+        self._started = False
+        self.key = key
+        self.app = app
+
+    def start(self) -> None:
+        """Write the beacon file (pid, supervising parent, task)."""
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_text(json.dumps({
+                "pid": os.getpid(),
+                "parent": os.getppid(),
+                "key": self.key,
+                "app": self.app,
+            }))
+            self._started = True
+            self._last_beat = time.monotonic()
+        except OSError:
+            self._started = False
+
+    def beat(self) -> None:
+        """Advance the beacon mtime, throttled to ``interval`` so the hot
+        loop pays one clock read per event, not one write."""
+        if not self._started:
+            return
+        now = time.monotonic()
+        if now - self._last_beat < self.interval:
+            return
+        self._last_beat = now
+        try:
+            os.utime(self.path)
+        except OSError:
+            self._started = False
+
+    def stop(self) -> None:
+        """Remove the beacon (the task finished; nothing to supervise)."""
+        self._started = False
+        try:
+            self.path.unlink(missing_ok=True)
+        except OSError:
+            pass
+
+
+class WorkerWatchdog:
+    """Parent-side supervisor that kills workers whose heartbeat stalls.
+
+    ``on_stall`` (optional) is called with a record dict — pid, task key,
+    app, heartbeat age — for every kill, so the runner can log and count
+    them. Killing a pool worker trips the executor's broken-pool
+    recovery, whose retry resumes the task from its newest checkpoint.
+    """
+
+    def __init__(self, cache_dir: Path | str, timeout: float,
+                 on_stall=None) -> None:
+        self.dir = Path(cache_dir) / "heartbeats"
+        self.timeout = timeout
+        self.on_stall = on_stall
+        #: stalled workers killed so far
+        self.kills = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> None:
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-watchdog", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        # poll well inside the timeout so a stall is caught within ~1.25x
+        poll = max(self.timeout / 4.0, 0.05)
+        while not self._stop.wait(poll):
+            self.sweep()
+
+    def sweep(self, now: float | None = None) -> int:
+        """One pass over the heartbeat directory; returns workers killed."""
+        if now is None:
+            now = time.time()
+        killed_here = 0
+        try:
+            beacons = list(self.dir.glob("hb-*.json"))
+        except OSError:
+            return 0
+        for path in beacons:
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # raced with the worker's own cleanup
+            if age <= self.timeout:
+                continue
+            try:
+                info = json.loads(path.read_text())
+            except (OSError, ValueError):
+                info = {}
+            if info.get("parent") != os.getpid():
+                # not ours to kill — but sweep ancient orphans whose
+                # parent campaign is long gone
+                if age > max(self.timeout * 10.0, 60.0):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+                continue
+            pid = info.get("pid")
+            killed = False
+            if isinstance(pid, int) and pid > 0:
+                sig = getattr(signal, "SIGKILL", signal.SIGTERM)
+                try:
+                    os.kill(pid, sig)
+                    killed = True
+                except ProcessLookupError:
+                    pass  # already dead; just sweep the beacon
+                except OSError:
+                    pass
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            if killed:
+                self.kills += 1
+                killed_here += 1
+                if self.on_stall is not None:
+                    self.on_stall({
+                        "pid": pid,
+                        "key": info.get("key", ""),
+                        "app": info.get("app", ""),
+                        "age": age,
+                    })
+        return killed_here

@@ -34,6 +34,8 @@ the scaled-down traces' cold-start from swamping steady-state behaviour.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from repro.branch import PentiumMPredictor
 from repro.core import DataStallModel
 from repro.esp import EspController
@@ -62,6 +64,11 @@ from repro.sim.config import SimConfig
 from repro.sim.results import EventProfile, SimResult
 from repro.workloads.apps import AppProfile
 from repro.workloads.generator import EventTrace
+
+#: version tag of the :meth:`Simulator.checkpoint` payload; bump whenever
+#: any component's state layout changes so stale checkpoints are rejected
+#: (and quarantined by the store) instead of misrestored
+CHECKPOINT_VERSION = 1
 
 
 class Simulator:
@@ -144,6 +151,17 @@ class Simulator:
         self.event_profiles: list = []
         self.collect_event_profile = False
 
+        #: checkpoint cadence in events: every ``checkpoint_every``-th event
+        #: boundary hands a :meth:`checkpoint` payload to
+        #: ``checkpoint_sink`` (0 = never)
+        self.checkpoint_every = 0
+        self.checkpoint_sink = None
+        #: called with the just-finished schedule position at every event
+        #: boundary (heartbeats, fault injection, memory-pressure checks)
+        self.event_hook = None
+        self._pending_restore: dict | None = None
+        self._loop_state: tuple | None = None
+
     # -- measurement control ---------------------------------------------------
 
     def _reset_measurement(self) -> None:
@@ -187,30 +205,12 @@ class Simulator:
         """Simulate the trace and return the measured statistics."""
         trace = self.trace
         config = self.config
-        core = config.core
         result = self.result
         hierarchy = self.hierarchy
         predictor = self.predictor
-        stall_model = self.stall_model
         esp = self.esp
         runahead = self.runahead
         replay = esp.replay if esp is not None else None
-        nl_i, dcu, stride = self.nl_i, self.dcu, self.stride
-        efetch, pif = self.efetch, self.pif
-
-        perfect = config.perfect
-        perfect_i = perfect.l1i
-        perfect_d = perfect.l1d
-        perfect_b = perfect.branch
-
-        base_cpi = core.base_cpi
-        fetch_hide = core.fetch_hide_cycles
-        # stalls longer than an L2 hit behave like outstanding memory
-        # accesses: they overlap within the ROB window (MLP) and are worth
-        # jumping ahead over
-        long_latency = hierarchy.l2_latency
-        mispredict_penalty = core.mispredict_penalty
-        bubble_penalty = core.btb_bubble_penalty
 
         if self.schedule is not None:
             order = list(self.schedule.order)
@@ -231,8 +231,28 @@ class Simulator:
         cycle = 0.0
         cycle_offset = 0.0
         cur_block = -1
+        start = 0
+        resume = self._pending_restore
+        if resume is not None:
+            self._pending_restore = None
+            if resume["n_events"] != n_events:
+                raise ValueError(
+                    f"checkpoint covers {resume['n_events']} events, "
+                    f"this run has {n_events}")
+            start = resume["position"]
+            # the checkpointed warmup boundary overrides the computed one,
+            # so a resume past warm-up never re-fires the measurement reset
+            warmup_events = resume["warmup_events"]
+            cycle = resume["cycle"]
+            cycle_offset = resume["cycle_offset"]
+            cur_block = resume["cur_block"]
 
-        for position, k in enumerate(order):
+        checkpoint_every = self.checkpoint_every
+        checkpoint_sink = self.checkpoint_sink
+        event_hook = self.event_hook
+
+        for position in range(start, n_events):
+            k = order[position]
             if position == warmup_events:
                 self._reset_measurement()
                 predictor.predictions = 0
@@ -263,142 +283,9 @@ class Simulator:
                 cycle, cur_block = self._run_streams_packed(
                     (packed_looper, packed_true), cycle, cur_block,
                     wset_i, wset_d)
-                result.events += 1
-                if self.collect_event_profile and position >= warmup_events:
-                    self.event_profiles.append(EventProfile(
-                        event_index=k,
-                        instructions=result.instructions - event_start[1],
-                        cycles=cycle - event_start[0],
-                        stall_ifetch=result.stall_ifetch - event_start[2],
-                        stall_data=result.stall_data - event_start[3],
-                        stall_branch=result.stall_branch - event_start[4],
-                        hinted=replay.active if replay is not None
-                        else False))
-                if wset_i is not None:
-                    self.normal_i_working_sets.append(len(wset_i))
-                    self.normal_d_working_sets.append(len(wset_d))
-                if esp is not None:
-                    esp.finish_event()
-                continue
-
-            looper = trace.looper_stream(k)
-            icount = -len(looper)
-            event_branches = 0
-
-            for stream in (looper, event.true_stream):
-                pos = 0
-                n = len(stream)
-                while pos < n:
-                    inst = stream[pos]
-                    pos += 1
-                    icount += 1
-                    result.instructions += 1
-                    cycle += base_cpi
-
-                    # ---- instruction fetch ----
-                    block = inst.pc >> BLOCK_SHIFT
-                    if block != cur_block:
-                        cur_block = block
-                        if wset_i is not None:
-                            wset_i.add(block)
-                        if replay is not None:
-                            replay.poll(icount, int(cycle))
-                        if not perfect_i:
-                            result.l1i_accesses += 1
-                            res = hierarchy.access_i(block, int(cycle))
-                            # a timely prefetch makes the access a hit;
-                            # a late one is still a (shortened) miss
-                            if not res.l1_hit and \
-                                    not (res.prefetched and res.latency == 0):
-                                result.l1i_misses += 1
-                                exposed = res.latency - fetch_hide
-                                if exposed > 0:
-                                    cycle += exposed
-                                    result.stall_ifetch += exposed
-                                    if res.llc_miss:
-                                        result.llc_i_misses += 1
-                                    if res.llc_miss or \
-                                            res.latency > long_latency:
-                                        # a long fetch stall (true LLC miss
-                                        # or a barely-started prefetch) is a
-                                        # jump-ahead opportunity
-                                        if esp is not None:
-                                            esp.on_stall(int(cycle), exposed)
-                                        # runahead cannot act on I-misses
-                            if nl_i is not None:
-                                for pb in nl_i.observe(inst.pc, block):
-                                    hierarchy.prefetch("i", pb, int(cycle))
-                            if pif is not None:
-                                for pb in pif.observe(inst.pc, block):
-                                    hierarchy.prefetch("i", pb, int(cycle))
-                            if efetch is not None:
-                                efetch.observe(inst.pc, block)
-
-                    kind = inst.kind
-                    if kind == KIND_ALU:
-                        continue
-
-                    # ---- data access ----
-                    if kind == KIND_LOAD or kind == KIND_STORE:
-                        dblock = inst.addr >> BLOCK_SHIFT
-                        if wset_d is not None:
-                            wset_d.add(dblock)
-                        result.l1d_accesses += 1
-                        if not perfect_d:
-                            res = hierarchy.access_d(dblock, int(cycle))
-                            if not res.l1_hit and \
-                                    not (res.prefetched and res.latency == 0):
-                                result.l1d_misses += 1
-                                long_stall = res.llc_miss or \
-                                    res.latency > long_latency
-                                exposed = stall_model.exposed(
-                                    result.instructions, cycle, res.latency,
-                                    long_stall)
-                                if exposed > 0:
-                                    cycle += exposed
-                                    result.stall_data += exposed
-                                if res.llc_miss:
-                                    result.llc_d_misses += 1
-                                if long_stall and exposed > 0:
-                                    if esp is not None:
-                                        esp.on_stall(int(cycle), exposed)
-                                    elif runahead is not None:
-                                        runahead.on_stall(
-                                            stream, pos, int(cycle),
-                                            exposed)
-                            if dcu is not None:
-                                for pb in dcu.observe(inst.pc, dblock):
-                                    hierarchy.prefetch("d", pb, int(cycle))
-                            if stride is not None:
-                                for pb in stride.observe(inst.pc, inst.addr):
-                                    hierarchy.prefetch("d", pb, int(cycle))
-                        continue
-
-                    # ---- control flow ----
-                    result.branches += 1
-                    if perfect_b:
-                        continue
-                    if kind == KIND_BRANCH or kind == KIND_IBRANCH:
-                        event_branches += 1
-                        if replay is not None:
-                            replay.before_branch(event_branches)
-                    if efetch is not None:
-                        if kind == KIND_CALL or (kind == KIND_IBRANCH
-                                                 and inst.taken):
-                            for pb in efetch.on_call(inst.target):
-                                hierarchy.prefetch("i", pb, int(cycle))
-                        elif kind == KIND_RETURN:
-                            for pb in efetch.on_return():
-                                hierarchy.prefetch("i", pb, int(cycle))
-                    outcome = predictor.execute_branch(
-                        inst.pc, kind, inst.taken, inst.target)
-                    if outcome.mispredicted:
-                        result.branch_mispredicts += 1
-                        cycle += mispredict_penalty
-                        result.stall_branch += mispredict_penalty
-                    elif outcome.minor_bubble:
-                        cycle += bubble_penalty
-                        result.stall_branch += bubble_penalty
+            else:
+                cycle, cur_block = self._run_streams_object(
+                    k, event, cycle, cur_block, wset_i, wset_d)
 
             result.events += 1
             if self.collect_event_profile and position >= warmup_events:
@@ -415,6 +302,15 @@ class Simulator:
                 self.normal_d_working_sets.append(len(wset_d))
             if esp is not None:
                 esp.finish_event()
+            if checkpoint_every and checkpoint_sink is not None \
+                    and (position + 1) % checkpoint_every == 0 \
+                    and position + 1 < n_events:
+                self._loop_state = (position + 1, warmup_events, cycle,
+                                    cycle_offset, cur_block, n_events)
+                checkpoint_sink(self.checkpoint())
+                self._loop_state = None
+            if event_hook is not None:
+                event_hook(position)
 
         result.cycles = cycle - cycle_offset
         # fold in the hierarchy's prefetch-effectiveness counters
@@ -704,6 +600,278 @@ class Simulator:
         result.branch_mispredicts = branch_mispredicts
         result.stall_branch = stall_branch
         return cycle, cur_block
+
+    # -- object-stream compatibility path ----------------------------------------
+
+    def _run_streams_object(self, k: int, event, cycle: float,
+                            cur_block: int, wset_i: set | None,
+                            wset_d: set | None) -> tuple[float, int]:
+        """Execute one event's (looper, true) streams as ``Instruction``
+        objects — the compatibility reference the packed path is tested
+        against, and the only path runahead can use (its pre-execution
+        consumes the remainder of the live stream). Returns the updated
+        ``(cycle, cur_block)``.
+        """
+        trace = self.trace
+        config = self.config
+        core = config.core
+        result = self.result
+        hierarchy = self.hierarchy
+        predictor = self.predictor
+        stall_model = self.stall_model
+        esp = self.esp
+        runahead = self.runahead
+        replay = esp.replay if esp is not None else None
+        nl_i, dcu, stride = self.nl_i, self.dcu, self.stride
+        efetch, pif = self.efetch, self.pif
+
+        perfect = config.perfect
+        perfect_i = perfect.l1i
+        perfect_d = perfect.l1d
+        perfect_b = perfect.branch
+
+        base_cpi = core.base_cpi
+        fetch_hide = core.fetch_hide_cycles
+        # stalls longer than an L2 hit behave like outstanding memory
+        # accesses: they overlap within the ROB window (MLP) and are worth
+        # jumping ahead over
+        long_latency = hierarchy.l2_latency
+        mispredict_penalty = core.mispredict_penalty
+        bubble_penalty = core.btb_bubble_penalty
+
+        looper = trace.looper_stream(k)
+        icount = -len(looper)
+        event_branches = 0
+        for stream in (looper, event.true_stream):
+            pos = 0
+            n = len(stream)
+            while pos < n:
+                inst = stream[pos]
+                pos += 1
+                icount += 1
+                result.instructions += 1
+                cycle += base_cpi
+
+                # ---- instruction fetch ----
+                block = inst.pc >> BLOCK_SHIFT
+                if block != cur_block:
+                    cur_block = block
+                    if wset_i is not None:
+                        wset_i.add(block)
+                    if replay is not None:
+                        replay.poll(icount, int(cycle))
+                    if not perfect_i:
+                        result.l1i_accesses += 1
+                        res = hierarchy.access_i(block, int(cycle))
+                        # a timely prefetch makes the access a hit;
+                        # a late one is still a (shortened) miss
+                        if not res.l1_hit and \
+                                not (res.prefetched and res.latency == 0):
+                            result.l1i_misses += 1
+                            exposed = res.latency - fetch_hide
+                            if exposed > 0:
+                                cycle += exposed
+                                result.stall_ifetch += exposed
+                                if res.llc_miss:
+                                    result.llc_i_misses += 1
+                                if res.llc_miss or \
+                                        res.latency > long_latency:
+                                    # a long fetch stall (true LLC miss
+                                    # or a barely-started prefetch) is a
+                                    # jump-ahead opportunity
+                                    if esp is not None:
+                                        esp.on_stall(int(cycle), exposed)
+                                    # runahead cannot act on I-misses
+                        if nl_i is not None:
+                            for pb in nl_i.observe(inst.pc, block):
+                                hierarchy.prefetch("i", pb, int(cycle))
+                        if pif is not None:
+                            for pb in pif.observe(inst.pc, block):
+                                hierarchy.prefetch("i", pb, int(cycle))
+                        if efetch is not None:
+                            efetch.observe(inst.pc, block)
+
+                kind = inst.kind
+                if kind == KIND_ALU:
+                    continue
+
+                # ---- data access ----
+                if kind == KIND_LOAD or kind == KIND_STORE:
+                    dblock = inst.addr >> BLOCK_SHIFT
+                    if wset_d is not None:
+                        wset_d.add(dblock)
+                    result.l1d_accesses += 1
+                    if not perfect_d:
+                        res = hierarchy.access_d(dblock, int(cycle))
+                        if not res.l1_hit and \
+                                not (res.prefetched and res.latency == 0):
+                            result.l1d_misses += 1
+                            long_stall = res.llc_miss or \
+                                res.latency > long_latency
+                            exposed = stall_model.exposed(
+                                result.instructions, cycle, res.latency,
+                                long_stall)
+                            if exposed > 0:
+                                cycle += exposed
+                                result.stall_data += exposed
+                            if res.llc_miss:
+                                result.llc_d_misses += 1
+                            if long_stall and exposed > 0:
+                                if esp is not None:
+                                    esp.on_stall(int(cycle), exposed)
+                                elif runahead is not None:
+                                    runahead.on_stall(
+                                        stream, pos, int(cycle),
+                                        exposed)
+                        if dcu is not None:
+                            for pb in dcu.observe(inst.pc, dblock):
+                                hierarchy.prefetch("d", pb, int(cycle))
+                        if stride is not None:
+                            for pb in stride.observe(inst.pc, inst.addr):
+                                hierarchy.prefetch("d", pb, int(cycle))
+                    continue
+
+                # ---- control flow ----
+                result.branches += 1
+                if perfect_b:
+                    continue
+                if kind == KIND_BRANCH or kind == KIND_IBRANCH:
+                    event_branches += 1
+                    if replay is not None:
+                        replay.before_branch(event_branches)
+                if efetch is not None:
+                    if kind == KIND_CALL or (kind == KIND_IBRANCH
+                                             and inst.taken):
+                        for pb in efetch.on_call(inst.target):
+                            hierarchy.prefetch("i", pb, int(cycle))
+                    elif kind == KIND_RETURN:
+                        for pb in efetch.on_return():
+                            hierarchy.prefetch("i", pb, int(cycle))
+                outcome = predictor.execute_branch(
+                    inst.pc, kind, inst.taken, inst.target)
+                if outcome.mispredicted:
+                    result.branch_mispredicts += 1
+                    cycle += mispredict_penalty
+                    result.stall_branch += mispredict_penalty
+                elif outcome.minor_bubble:
+                    cycle += bubble_penalty
+                    result.stall_branch += bubble_penalty
+        return cycle, cur_block
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """JSON-safe snapshot of the full mid-run state at an event boundary.
+
+        Only valid while the run loop holds the boundary's loop state —
+        i.e. from inside ``checkpoint_sink``. The payload is fully detached
+        from the live simulator (every component builds fresh lists), so
+        the caller may serialize it after the run has moved on.
+        """
+        if self._loop_state is None:
+            raise RuntimeError(
+                "checkpoint() is only valid at an event boundary, via "
+                "checkpoint_sink")
+        (position, warmup_events, cycle, cycle_offset, cur_block,
+         n_events) = self._loop_state
+        return {
+            "version": CHECKPOINT_VERSION,
+            "app": self.trace.profile.name,
+            "config": self.config.cache_key(),
+            "n_events": len(self.trace),
+            "loop": {
+                "position": position,
+                "warmup_events": warmup_events,
+                "cycle": cycle,
+                "cycle_offset": cycle_offset,
+                "cur_block": cur_block,
+                "n_events": n_events,
+            },
+            "result": self.result.to_dict(),
+            "hierarchy": self.hierarchy.state_dict(),
+            "predictor": self.predictor.state_dict(),
+            "stall_model": self.stall_model.state_dict(),
+            "prefetch": {
+                name: pf.state_dict() if pf is not None else None
+                for name, pf in (("nl_i", self.nl_i), ("dcu", self.dcu),
+                                 ("stride", self.stride),
+                                 ("efetch", self.efetch),
+                                 ("pif", self.pif))
+            },
+            "esp": self.esp.state_dict() if self.esp is not None else None,
+            "normal_i_working_sets": list(self.normal_i_working_sets),
+            "normal_d_working_sets": list(self.normal_d_working_sets),
+            "event_profiles": [asdict(p) for p in self.event_profiles],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`checkpoint` payload; the next :meth:`run` resumes
+        from the checkpointed event boundary and produces a bit-identical
+        :class:`~repro.sim.results.SimResult` to the uninterrupted run.
+
+        Header validation happens before any mutation, so a mismatched
+        checkpoint raises :class:`ValueError` and leaves the simulator
+        untouched (letting the checkpoint store quarantine it and fall
+        back a generation).
+        """
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version!r}")
+        if state["config"] != self.config.cache_key():
+            raise ValueError(
+                "checkpoint was taken under a different configuration")
+        if state["app"] != self.trace.profile.name:
+            raise ValueError(
+                f"checkpoint is for app {state['app']!r}, "
+                f"not {self.trace.profile.name!r}")
+        if state["n_events"] != len(self.trace):
+            raise ValueError(
+                f"checkpoint covers a {state['n_events']}-event trace, "
+                f"this one has {len(self.trace)} events")
+        if (state["esp"] is None) != (self.esp is None):
+            raise ValueError(
+                "checkpoint and simulator disagree on ESP being enabled")
+        prefetchers = (("nl_i", self.nl_i), ("dcu", self.dcu),
+                       ("stride", self.stride), ("efetch", self.efetch),
+                       ("pif", self.pif))
+        for name, pf in prefetchers:
+            if (state["prefetch"][name] is None) != (pf is None):
+                raise ValueError(
+                    f"checkpoint and simulator disagree on the {name} "
+                    "prefetcher")
+
+        fields = dict(state["result"])
+        esp_fields = fields.pop("esp")
+        energy_fields = fields.pop("energy")
+        result = self.result
+        for name, value in fields.items():
+            setattr(result, name, value)
+        # the EspStats object identity is load-bearing: the ESP/runahead
+        # controllers and the replay engine alias result.esp, so its fields
+        # are mutated in place — never replace the object (nor its
+        # pre_instructions list, which the controllers also hold)
+        esp_stats = result.esp
+        for name, value in esp_fields.items():
+            if name == "pre_instructions":
+                esp_stats.pre_instructions[:] = value
+            else:
+                setattr(esp_stats, name, value)
+        for name, value in energy_fields.items():
+            setattr(result.energy, name, value)
+
+        self.hierarchy.load_state(state["hierarchy"])
+        self.predictor.load_state(state["predictor"])
+        self.stall_model.load_state(state["stall_model"])
+        for name, pf in prefetchers:
+            if pf is not None:
+                pf.load_state(state["prefetch"][name])
+        if self.esp is not None:
+            self.esp.load_state(state["esp"])
+        self.normal_i_working_sets = list(state["normal_i_working_sets"])
+        self.normal_d_working_sets = list(state["normal_d_working_sets"])
+        self.event_profiles = [EventProfile(**p)
+                               for p in state["event_profiles"]]
+        self._pending_restore = dict(state["loop"])
 
 
 def simulate(app: str | AppProfile, config: SimConfig, scale: float = 1.0,

@@ -105,6 +105,66 @@ class TestCorruptionStorms:
         assert got == clean_reference
 
 
+class TestMidSimResilience:
+    def test_kill_mid_sim_storm_resumes_from_checkpoints(
+            self, tmp_path, monkeypatch, clean_reference):
+        """Workers killed *inside* the simulation loop: every retry
+        resumes from the newest checkpoint generation and the grid still
+        ends bit-identical, with the resumes visible in the run log and
+        in ``repro stats``."""
+        from repro.obs.runlog import iter_records
+        from repro.obs.stats import format_table, summarize
+
+        log_dir = tmp_path / "logs"
+        _arm(monkeypatch, "kill_mid_sim:0.5,seed:3")
+        chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
+                                 jobs=2, task_timeout=60.0,
+                                 max_attempts=6, retry_backoff=0.01,
+                                 checkpoint_events=1, log_dir=log_dir)
+        got = [r.to_dict() for r in chaos.run_many(_pairs())]
+        assert got == clean_reference
+        kinds = [r.get("kind") for r in iter_records(log_dir)]
+        assert kinds.count("checkpoint") >= 1
+        assert kinds.count("resume") >= 1
+        # the stats reducer surfaces the resilience activity
+        summary = summarize(iter_records(log_dir))
+        assert summary["checkpoints"] >= 1
+        assert summary["resumes"] >= 1
+        assert "resilience —" in format_table(summary)
+
+    def test_stalled_worker_killed_by_watchdog(self, tmp_path,
+                                               monkeypatch,
+                                               clean_reference):
+        """Workers that hang mid-event (injected ``stall_worker`` sleeps)
+        are detected by the heartbeat watchdog and killed; the broken-pool
+        recovery resumes their tasks from checkpoints, bit-identically."""
+        _arm(monkeypatch, "stall_worker:0.4,seed:11")
+        chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
+                                 jobs=2, task_timeout=60.0,
+                                 max_attempts=6, retry_backoff=0.01,
+                                 checkpoint_events=1,
+                                 heartbeat_timeout=1.5)
+        got = [r.to_dict() for r in chaos.run_many(_pairs())]
+        assert got == clean_reference
+        assert chaos.watchdog_kills >= 1
+
+    def test_memory_pressure_evicts_and_recovers(self, tmp_path,
+                                                 monkeypatch,
+                                                 clean_reference):
+        """An absurdly low RSS ceiling evicts every parallel worker; the
+        serial retry lifts the ceiling (the reduced-fan-out recovery) and
+        the grid completes bit-identically."""
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        faults.set_fault_plan(faults.FaultPlan())
+        chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
+                                 jobs=2, task_timeout=60.0,
+                                 max_attempts=6, retry_backoff=0.01,
+                                 checkpoint_events=1, mem_limit_mb=1)
+        got = [r.to_dict() for r in chaos.run_many(_pairs())]
+        assert got == clean_reference
+        assert chaos.retries >= 1
+
+
 class TestInterruptResume:
     def test_interrupt_storm_resumes_to_identical_results(
             self, tmp_path, monkeypatch, clean_reference):

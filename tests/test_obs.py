@@ -348,7 +348,7 @@ class TestWorkerRetryPath:
 
 
 def _poisoned_remote(app, config, scale, seed, cache_dir, use_disk_cache,
-                     log_dir=None):
+                     log_dir=None, **kwargs):
     """Worker entry point that dies abruptly on its first invocation (the
     poison file marks the pending failure), then behaves normally. Only
     the process that wins the unlink dies, so concurrent workers cannot
@@ -364,4 +364,4 @@ def _poisoned_remote(app, config, scale, seed, cache_dir, use_disk_cache,
         else:
             os._exit(17)
     return _real_run_remote(app, config, scale, seed, cache_dir,
-                            use_disk_cache, log_dir)
+                            use_disk_cache, log_dir, **kwargs)

@@ -25,27 +25,28 @@ CONFIGS = ["baseline", "nl"]
 
 
 def _always_dying_remote(app, config, scale, seed, cache_dir,
-                         use_disk_cache, log_dir=None, attempt=1):
+                         use_disk_cache, log_dir=None, attempt=1,
+                         **kwargs):
     """Worker stand-in that dies before producing any result (module-level
     so it pickles into the pool under fork and spawn alike)."""
     os._exit(3)
 
 
 def _slow_remote(app, config, scale, seed, cache_dir, use_disk_cache,
-                 log_dir=None, attempt=1):
+                 log_dir=None, attempt=1, **kwargs):
     """Worker stand-in that outlives any reasonable per-task timeout."""
     time.sleep(2.0)
     return _run_remote(app, config, scale, seed, cache_dir, use_disk_cache,
-                       log_dir, attempt)
+                       log_dir, attempt, **kwargs)
 
 
 def _flaky_remote(app, config, scale, seed, cache_dir, use_disk_cache,
-                  log_dir=None, attempt=1):
+                  log_dir=None, attempt=1, **kwargs):
     """Worker stand-in that hangs for bing and behaves for everyone else."""
     if app == "bing":
         time.sleep(2.0)
     return _run_remote(app, config, scale, seed, cache_dir, use_disk_cache,
-                       log_dir, attempt)
+                       log_dir, attempt, **kwargs)
 
 
 def _grid_dicts(runner):
