@@ -1,0 +1,60 @@
+"""Kernel-matrix smoke: the vector kernel must beat the packed loop on a
+warm memo, and must match it bit for bit — always.
+
+Run by the CI ``kernel-vector`` leg. The equivalence half is a hard
+assertion (a mismatch is a correctness bug, full stop). The performance
+half soft-fails to a warning: CI runners are noisy neighbours, and a
+slow rep proves nothing — the recorded BENCH snapshot is the performance
+ledger, this smoke just catches order-of-magnitude regressions (e.g. the
+memo silently never engaging).
+"""
+
+import time
+import warnings
+
+from repro.sim import presets
+from repro.sim.simulator import Simulator
+from repro.workloads import EventTrace, get_app
+
+
+def _trace():
+    trace = EventTrace(get_app("pixlr"), scale=0.5)
+    trace._cache_capacity = len(trace) + 4
+    for k in range(len(trace)):
+        trace.event(k).packed_true()
+        trace.packed_looper_stream(k)
+    return trace
+
+
+def _best_of(fn, reps=3):
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vector_matches_and_beats_packed():
+    trace = _trace()
+    config = presets.by_name("nl")
+
+    packed = Simulator(trace, config, kernel="packed").run().to_dict()
+    vec_sim = Simulator(trace, config, kernel="vector")
+    vector = vec_sim.run().to_dict()
+    # hard-fail: bit-identity is the kernel's contract
+    assert vec_sim.kernel_used == "vector"
+    assert vector == packed, {
+        k: (packed[k], vector[k]) for k in packed if packed[k] != vector[k]}
+
+    t_packed = _best_of(
+        lambda: Simulator(trace, config, kernel="packed").run())
+    # first vector rep warms the memo; best-of keeps the warm replays
+    t_vector = _best_of(
+        lambda: Simulator(trace, config, kernel="vector").run())
+    if t_vector > t_packed:
+        # soft-fail: noisy runners make timing assertions flaky
+        warnings.warn(
+            f"vector kernel slower than packed on this runner "
+            f"({t_vector:.3f}s vs {t_packed:.3f}s) — investigate if "
+            f"this persists across runs", RuntimeWarning)

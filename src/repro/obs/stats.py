@@ -20,6 +20,7 @@ def _fresh_app_bucket() -> dict:
     return {"runs": 0, "simulated": 0, "cache_hits": 0, "retries": 0,
             "corruptions": 0, "failures": 0,
             "checkpoints": 0, "resumes": 0,
+            "kernels": {}, "memo_replayed": 0, "memo_recorded": 0,
             "trace_load_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
 
 
@@ -59,6 +60,16 @@ def summarize(records) -> dict:
             else:
                 simulated += 1
                 bucket["simulated"] += 1
+                # pre-kernel logs have no "kernel" field; skip rather
+                # than invent an "unknown" bucket for them
+                kernel = record.get("kernel")
+                if kernel:
+                    kernels = bucket["kernels"]
+                    kernels[kernel] = kernels.get(kernel, 0) + 1
+                for field in ("memo_replayed", "memo_recorded"):
+                    value = record.get(field)
+                    if isinstance(value, int):
+                        bucket[field] += value
             for field in ("trace_load_s", "simulate_s", "store_s"):
                 value = record.get(field)
                 if isinstance(value, (int, float)):
@@ -95,6 +106,18 @@ def summarize(records) -> dict:
         bucket["throughput_per_s"] = n_sim / sim_s if sim_s > 0 else 0.0
         bucket["hit_rate"] = (bucket["cache_hits"] / bucket["runs"]
                               if bucket["runs"] else 0.0)
+        # share of the memo-touched events that replayed instead of
+        # simulating (recorded events are the misses of the warm path)
+        memo_events = bucket["memo_replayed"] + bucket["memo_recorded"]
+        bucket["memo_hit_rate"] = (bucket["memo_replayed"] / memo_events
+                                   if memo_events else 0.0)
+    kernels_total: dict[str, int] = {}
+    for bucket in apps.values():
+        for kernel, count in bucket["kernels"].items():
+            kernels_total[kernel] = kernels_total.get(kernel, 0) + count
+    memo_replayed = sum(b["memo_replayed"] for b in apps.values())
+    memo_recorded = sum(b["memo_recorded"] for b in apps.values())
+    memo_events = memo_replayed + memo_recorded
     return {
         "runs": runs,
         "simulated": simulated,
@@ -109,6 +132,11 @@ def summarize(records) -> dict:
         "resumes": resumes,
         "resume_fallbacks": resume_fallbacks,
         "stalled_kills": stalled_kills,
+        "kernels": {k: kernels_total[k] for k in sorted(kernels_total)},
+        "memo_replayed": memo_replayed,
+        "memo_recorded": memo_recorded,
+        "memo_hit_rate": memo_replayed / memo_events if memo_events
+        else 0.0,
         "simulate_s": sum(b["simulate_s"] for b in apps.values()),
         "apps": {app: apps[app] for app in sorted(apps)},
     }
@@ -123,13 +151,14 @@ def format_table(summary: dict) -> str:
         return "no run records found"
     lines = [
         f"{'app':<12} {'runs':>6} {'sim':>6} {'hits':>6} {'hit%':>6} "
-        f"{'sim s':>9} {'mean s':>8} {'sims/s':>8} {'retry':>5} "
-        f"{'corr':>4} {'fail':>4} {'ckpt':>5} {'res':>4}"
+        f"{'memo%':>6} {'sim s':>9} {'mean s':>8} {'sims/s':>8} "
+        f"{'retry':>5} {'corr':>4} {'fail':>4} {'ckpt':>5} {'res':>4}"
     ]
     for app, b in summary["apps"].items():
         lines.append(
             f"{app:<12} {b['runs']:>6} {b['simulated']:>6} "
             f"{b['cache_hits']:>6} {100 * b['hit_rate']:>5.1f}% "
+            f"{100 * b.get('memo_hit_rate', 0.0):>5.1f}% "
             f"{b['simulate_s']:>9.3f} {b['mean_simulate_s']:>8.3f} "
             f"{b['throughput_per_s']:>8.2f} {b['retries']:>5} "
             f"{b.get('corruptions', 0):>4} {b.get('failures', 0):>4} "
@@ -138,11 +167,21 @@ def format_table(summary: dict) -> str:
         f"{'total':<12} {summary['runs']:>6} {summary['simulated']:>6} "
         f"{summary['cache_hits']:>6} "
         f"{100 * summary['cache_hit_rate']:>5.1f}% "
+        f"{100 * summary.get('memo_hit_rate', 0.0):>5.1f}% "
         f"{summary['simulate_s']:>9.3f} {'':>8} {'':>8} "
         f"{summary['retries']:>5} {summary.get('corruptions', 0):>4} "
         f"{summary.get('task_failures', 0):>4} "
         f"{summary.get('checkpoints', 0):>5} "
         f"{summary.get('resumes', 0):>4}")
+    if summary.get("kernels"):
+        detail = ", ".join(f"{kernel}: {count}" for kernel, count
+                           in summary["kernels"].items())
+        memo = ""
+        if summary.get("memo_replayed") or summary.get("memo_recorded"):
+            memo = (f" — memo events replayed: "
+                    f"{summary.get('memo_replayed', 0)}, recorded: "
+                    f"{summary.get('memo_recorded', 0)}")
+        lines.append(f"kernels — {detail}{memo}")
     if summary.get("corrupt_by_artifact"):
         detail = ", ".join(f"{artifact}: {count}" for artifact, count
                            in summary["corrupt_by_artifact"].items())

@@ -133,6 +133,9 @@ _warned_envs: set[str] = set()
 #: the low-disk degradation warns once per process, not once per runner
 _warned_low_disk = False
 
+#: likewise the single-CPU fan-out auto-disable notice
+_warned_single_cpu = False
+
 
 def _env_or_default(name: str, default, convert):
     """``convert(os.environ[name])``, falling back to ``default`` (with a
@@ -169,6 +172,13 @@ def default_seed() -> int:
 def default_jobs() -> int:
     """Worker-process count from ``REPRO_JOBS`` (default 1 = serial)."""
     return max(1, _env_or_default(_JOBS_ENV, 1, int))
+
+
+def available_cpus() -> int:
+    """CPUs this process may use: ``os.process_cpu_count()`` (3.13+,
+    affinity-aware) when available, else ``os.cpu_count()``, floor 1."""
+    counter = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return counter() or 1
 
 
 def default_task_timeout() -> float | None:
@@ -308,7 +318,7 @@ class ExperimentRunner:
     def __init__(self, cache_dir: Path | str | None = None,
                  scale: float | None = None, seed: int | None = None,
                  use_disk_cache: bool = True,
-                 jobs: int | None = None,
+                 jobs: int | str | None = None,
                  task_timeout: float | None = None,
                  log_dir: Path | str | None = None,
                  max_attempts: int | None = None,
@@ -333,7 +343,29 @@ class ExperimentRunner:
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         self.use_disk_cache = use_disk_cache
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        fanout_disabled = False
+        if jobs == "auto":
+            # size the pool to the CPUs this process may actually use —
+            # but an explicitly-set REPRO_JOBS always wins, and a
+            # single-CPU host gets no fan-out at all (worker processes
+            # would only add serialization overhead there)
+            if os.environ.get(_JOBS_ENV) is not None:
+                self.jobs = default_jobs()
+            else:
+                cpus = available_cpus()
+                self.jobs = max(1, cpus)
+                if cpus <= 1:
+                    fanout_disabled = True
+                    global _warned_single_cpu
+                    if not _warned_single_cpu:
+                        _warned_single_cpu = True
+                        warnings.warn(
+                            "jobs='auto' on a single-CPU host: process "
+                            "fan-out disabled (set REPRO_JOBS to force "
+                            "a pool)", RuntimeWarning, stacklevel=2)
+        else:
+            self.jobs = default_jobs() if jobs is None \
+                else max(1, int(jobs))
         self.task_timeout = default_task_timeout() if task_timeout is None \
             else (task_timeout if task_timeout > 0 else None)
         self.max_attempts = default_max_attempts() if max_attempts is None \
@@ -357,6 +389,10 @@ class ExperimentRunner:
             self._runlog = RunLogWriter(default_log_dir(self.cache_dir))
         else:
             self._runlog = RunLogWriter(None)
+        if fanout_disabled and self._runlog.enabled:
+            self._runlog.write({
+                "kind": "fanout-disabled", "ts": round(time.time(), 3),
+                "cpus": available_cpus(), "pid": os.getpid()})
         #: parallel tasks completed serially after a worker died/timed out
         self.retries = 0
         #: stalled workers the heartbeat watchdog killed across batches
@@ -374,6 +410,7 @@ class ExperimentRunner:
         self._memory: dict[str, SimResult] = {}
         self._traces: dict[str, EventTrace | LoadedTrace] = {}
         self._timings = (0.0, 0.0)
+        self._last_kernel = ("", 0, 0)
         if self.use_disk_cache:
             self._check_disk_space()
             self._sweep_stale_tmp()
@@ -580,11 +617,15 @@ class ExperimentRunner:
         """Append one ``run`` record (no-op when logging is disabled)."""
         if not self._runlog.enabled:
             return
+        kernel, memo_replayed, memo_recorded = \
+            self._last_kernel if cache == "simulated" else ("", 0, 0)
         self._runlog.write({
             "kind": "run", "ts": round(time.time(), 3), "key": key,
             "app": app, "config": config.name,
             "config_digest": config.cache_key(), "scale": self.scale,
             "seed": self.seed, "pid": os.getpid(), "cache": cache,
+            "kernel": kernel, "memo_replayed": memo_replayed,
+            "memo_recorded": memo_recorded,
             "trace_load_s": round(trace_load_s, 6),
             "simulate_s": round(simulate_s, 6),
             "store_s": round(store_s, 6)})
@@ -641,6 +682,9 @@ class ExperimentRunner:
         # name the result after the preset for readable reports
         result.config = config.name
         self._timings = (t1 - t0, time.perf_counter() - t1)
+        self._last_kernel = (sim.kernel_used or "",
+                             sim.memo_events_replayed,
+                             sim.memo_events_recorded)
         return result
 
     # -- mid-simulation resilience ---------------------------------------------

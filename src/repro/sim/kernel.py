@@ -1,0 +1,540 @@
+"""The vectorized batch kernel — the simulator's third hot-loop.
+
+Two ideas stack here, both in service of the same non-negotiable contract
+as the packed path: results **bit-identical** to the object path, including
+floating-point accumulation order.
+
+**Segment batching (cold pass).** Each packed stream is pre-lowered once
+(:mod:`repro.isa.segments`) into *segments*: maximal plain-ALU runs inside
+one I-cache block collapse to a gap count, and only the interesting ops —
+block-boundary fetches, loads/stores, branches — are walked by the scalar
+boundary loop, which is operation-for-operation identical to the packed
+loop. A collapsed gap still performs its ``gap`` sequential ``cycle +=
+base_cpi`` additions (``base_cpi`` is 0.72; batched ``gap * base_cpi``
+would round differently), but pays one bytecode per instruction instead of
+the packed loop's full dispatch.
+
+**Segment memoization (warm pass).** Most throughput comes from the memo:
+repeated steady-state execution — the same event streams replayed against
+the same microarchitectural history — has an outcome that is already
+known (the Pac-Sim observation). The kernel chains a *token* per event:
+
+    token_0   = hash(memo version, config digest, working-set flag,
+                     fresh-state fingerprints)
+    token_k+1 = hash(token_k, looper stream digest, true stream digest)
+
+A token therefore encodes the config plus the entire execution history up
+to an event boundary; two runs holding the same token are at bit-identical
+microarchitectural states. Each recorded entry is additionally keyed (and
+verified on hit) by the loop-state scalars the token cannot see — entry
+cycle, retired-instruction count (which resets at the warm-up boundary),
+current fetch block and the stall accumulators — and carries an integrity
+checksum, so a poisoned or mismatched entry is detected and treated as a
+miss, never silently reused.
+
+A replay applies recorded *absolute* post-event values (bit-exact by
+construction — no re-accumulation) for every counter the rest of the run
+can observe, and re-applies the recorded pending-prefetch operation log so
+in-flight prefetch state stays exact. Cache contents and predictor tables
+are deliberately left stale during a replay streak: nothing outside the
+kernel reads them while the streak lasts. The moment a miss follows any
+replay, that staleness would become visible to live execution, so the
+kernel raises :class:`MemoRestart` and the simulator rebuilds fresh
+components and re-runs the whole trace live (recording as it goes) — the
+invalidation rule that keeps divergent cache/predictor/prefetcher state
+from ever leaking into results.
+
+Memo entries are derived state: the simulator never consults the memo for
+a resumed (checkpoint-restored) or re-used simulator, and never replays
+while a checkpoint sink is armed (a checkpoint must capture live caches).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from collections import OrderedDict
+from itertools import repeat as _repeat
+
+from repro.isa.instructions import KIND_ALU, KIND_LOAD, KIND_STORE
+from repro.isa.segments import lowering_of
+
+#: bump when the entry layout or token derivation changes
+_MEMO_VERSION = 1
+
+_KERNEL_ENV = "REPRO_KERNEL"
+KERNEL_NAMES = ("object", "packed", "vector")
+
+_warned_bad_kernel = False
+
+
+def kernel_from_env() -> str | None:
+    """The ``REPRO_KERNEL`` override, or None when unset/invalid."""
+    raw = os.environ.get(_KERNEL_ENV, "").strip().lower()
+    if not raw:
+        return None
+    if raw in KERNEL_NAMES:
+        return raw
+    global _warned_bad_kernel
+    if not _warned_bad_kernel:
+        _warned_bad_kernel = True
+        warnings.warn(
+            f"ignoring invalid {_KERNEL_ENV}={raw!r} "
+            f"(expected one of {', '.join(KERNEL_NAMES)})",
+            RuntimeWarning, stacklevel=2)
+    return None
+
+
+class MemoRestart(Exception):
+    """Raised on a memo miss after ≥1 replayed event: microarchitectural
+    state is stale, the run must restart live from fresh components."""
+
+
+class _Entry:
+    """One recorded event: pre-state key, absolute post-state, pending-
+    prefetch op logs, optional working-set contents, integrity checksum."""
+
+    __slots__ = ("pre", "post", "pend_i", "pend_d", "wsets", "checksum")
+
+    def __init__(self, pre, post, pend_i, pend_d, wsets):
+        self.pre = pre
+        self.post = post
+        self.pend_i = pend_i
+        self.pend_d = pend_d
+        self.wsets = wsets
+        self.checksum = self.compute_checksum()
+
+    def compute_checksum(self) -> int:
+        return hash(("espk-entry", self.pre, self.post, self.pend_i,
+                     self.pend_d, self.wsets))
+
+
+class SegmentMemo:
+    """Process-global (token → {pre-key → entry}) cache with LRU eviction
+    over tokens. Per-process by design: tokens hash with the interpreter's
+    randomized hash, and workers re-record cheaply."""
+
+    def __init__(self, capacity: int = 8192) -> None:
+        self.capacity = capacity
+        self._tokens: OrderedDict[int, dict] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.poisoned = 0
+
+    def lookup(self, token: int, pre: tuple) -> _Entry | None:
+        """The verified entry for (token, pre), else None.
+
+        A checksum mismatch — a poisoned entry — is dropped, counted, and
+        reported as a miss so the caller re-records from live execution.
+        """
+        by_pre = self._tokens.get(token)
+        entry = by_pre.get(pre) if by_pre is not None else None
+        if entry is not None and entry.checksum != entry.compute_checksum():
+            self.poisoned += 1
+            del by_pre[pre]
+            entry = None
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._tokens.move_to_end(token)
+        return entry
+
+    def store(self, token: int, entry: _Entry) -> None:
+        tokens = self._tokens
+        by_pre = tokens.get(token)
+        if by_pre is None:
+            by_pre = tokens[token] = {}
+        if entry.pre not in by_pre:
+            by_pre[entry.pre] = entry
+            self.stores += 1
+        tokens.move_to_end(token)
+        while len(tokens) > self.capacity:
+            tokens.popitem(last=False)
+
+    def clear(self) -> None:
+        self._tokens.clear()
+        self.hits = self.misses = self.stores = self.poisoned = 0
+
+    def entry_for(self, token: int, pre: tuple) -> _Entry | None:
+        """Unverified peek (tests use this to poison entries)."""
+        by_pre = self._tokens.get(token)
+        return by_pre.get(pre) if by_pre is not None else None
+
+    def __len__(self) -> int:
+        return sum(len(by_pre) for by_pre in self._tokens.values())
+
+
+#: the process-global memo shared by every vector-kernel simulator
+MEMO = SegmentMemo()
+
+
+def _initial_token(sim) -> int:
+    parts = [_MEMO_VERSION, sim.config.cache_key(),
+             bool(sim.collect_working_sets),
+             sim.hierarchy.state_fingerprint(),
+             sim.stall_model.state_dict()["last_miss_icount"],
+             sim.stall_model.state_dict()["outstanding_until"]]
+    for prefetcher in (sim.nl_i, sim.dcu):
+        parts.append(prefetcher.state_digest()
+                     if prefetcher is not None else None)
+    return hash(tuple(parts))
+
+
+def _capture_post(sim, cycle: float, cur_block: int) -> tuple:
+    """Absolute post-event values for everything outside the kernel that
+    can observe this run's state. Must mirror :func:`_apply_post`."""
+    r = sim.result
+    h = sim.hierarchy
+    li = h.l1i.stats
+    ld = h.l1d.stats
+    l2 = h.l2.stats
+    pi = h.prefetch_stats("i")
+    pd = h.prefetch_stats("d")
+    pred = sim.predictor
+    sm = sim.stall_model
+    nl_i = sim.nl_i
+    dcu = sim.dcu
+    return (
+        cycle, cur_block,
+        r.instructions, r.l1i_accesses, r.l1i_misses, r.llc_i_misses,
+        r.l1d_accesses, r.l1d_misses, r.llc_d_misses,
+        r.branches, r.branch_mispredicts,
+        r.stall_ifetch, r.stall_data, r.stall_branch,
+        li.accesses, li.misses, li.fills, li.evictions,
+        ld.accesses, ld.misses, ld.fills, ld.evictions,
+        l2.accesses, l2.misses, l2.fills, l2.evictions,
+        pi.issued, pi.useful, pi.late, pi.useless,
+        pd.issued, pd.useful, pd.late, pd.useless,
+        pred.predictions, pred.mispredictions,
+        sm._last_miss_icount, sm._outstanding_until,
+        h._dram_free, h.bandwidth_stall_cycles,
+        nl_i._last_block if nl_i is not None else False,
+        (dcu._streak_block, dcu._streak, dcu._armed_for)
+        if dcu is not None else False,
+    )
+
+
+def _apply_post(sim, post: tuple) -> tuple[float, int]:
+    """Install recorded absolutes; returns the new ``(cycle, cur_block)``."""
+    r = sim.result
+    h = sim.hierarchy
+    (cycle, cur_block,
+     r.instructions, r.l1i_accesses, r.l1i_misses, r.llc_i_misses,
+     r.l1d_accesses, r.l1d_misses, r.llc_d_misses,
+     r.branches, r.branch_mispredicts,
+     r.stall_ifetch, r.stall_data, r.stall_branch,
+     li_a, li_m, li_f, li_e, ld_a, ld_m, ld_f, ld_e,
+     l2_a, l2_m, l2_f, l2_e,
+     pi_i, pi_u, pi_l, pi_x, pd_i, pd_u, pd_l, pd_x,
+     predictions, mispredictions,
+     last_miss_icount, outstanding_until,
+     dram_free, bandwidth_stall, nl_last, dcu_state) = post
+    li = h.l1i.stats
+    li.accesses, li.misses, li.fills, li.evictions = li_a, li_m, li_f, li_e
+    ld = h.l1d.stats
+    ld.accesses, ld.misses, ld.fills, ld.evictions = ld_a, ld_m, ld_f, ld_e
+    l2 = h.l2.stats
+    l2.accesses, l2.misses, l2.fills, l2.evictions = l2_a, l2_m, l2_f, l2_e
+    pi = h.prefetch_stats("i")
+    pi.issued, pi.useful, pi.late, pi.useless = pi_i, pi_u, pi_l, pi_x
+    pd = h.prefetch_stats("d")
+    pd.issued, pd.useful, pd.late, pd.useless = pd_i, pd_u, pd_l, pd_x
+    sim.predictor.predictions = predictions
+    sim.predictor.mispredictions = mispredictions
+    sm = sim.stall_model
+    sm._last_miss_icount = last_miss_icount
+    sm._outstanding_until = outstanding_until
+    h._dram_free = dram_free
+    h.bandwidth_stall_cycles = bandwidth_stall
+    if nl_last is not False:
+        sim.nl_i._last_block = nl_last
+    if dcu_state is not False:
+        dcu = sim.dcu
+        dcu._streak_block, dcu._streak, dcu._armed_for = dcu_state
+    return cycle, cur_block
+
+
+class VectorKernel:
+    """Per-run driver: replay from the memo when possible, otherwise run
+    the cold segment pass (recording it for next time)."""
+
+    def __init__(self, sim, record: bool, replay: bool) -> None:
+        self.sim = sim
+        self.record = record and MEMO.capacity > 0
+        self.replay = replay and MEMO.capacity > 0
+        self.token = _initial_token(sim) if (record or replay) else 0
+        self.replayed_any = False
+        self.events_replayed = 0
+        self.events_recorded = 0
+
+    def prepare_restart(self) -> None:
+        """Reset for the live re-run after a :class:`MemoRestart`."""
+        self.replay = False
+        self.replayed_any = False
+        self.events_replayed = 0
+        self.events_recorded = 0
+        self.token = _initial_token(self.sim) if self.record else 0
+
+    # -- per-event dispatch ------------------------------------------------
+
+    def run_event(self, streams, cycle: float, cur_block: int,
+                  wset_i: set | None, wset_d: set | None
+                  ) -> tuple[float, int]:
+        sim = self.sim
+        memo_active = self.record or self.replay
+        if memo_active:
+            self.token = token = hash(
+                (self.token, streams[0].digest(), streams[1].digest()))
+            r = sim.result
+            pre = (cycle, r.instructions, cur_block,
+                   r.stall_ifetch, r.stall_data, r.stall_branch)
+        if self.replay:
+            entry = MEMO.lookup(token, pre)
+            if entry is not None:
+                self.replayed_any = True
+                self.events_replayed += 1
+                hierarchy = sim.hierarchy
+                hierarchy.pending_table("i").replay_ops(entry.pend_i)
+                hierarchy.pending_table("d").replay_ops(entry.pend_d)
+                if wset_i is not None and entry.wsets is not None:
+                    wset_i.update(entry.wsets[0])
+                    wset_d.update(entry.wsets[1])
+                return _apply_post(sim, entry.post)
+            if self.replayed_any:
+                # stale caches/predictor would now feed live execution
+                raise MemoRestart
+        recording = self.record
+        if recording:
+            log_i: list = []
+            log_d: list = []
+            hierarchy = sim.hierarchy
+            hierarchy.set_pending_log("i", log_i)
+            hierarchy.set_pending_log("d", log_d)
+        try:
+            cycle, cur_block = _run_streams_cold(
+                sim, streams, cycle, cur_block, wset_i, wset_d)
+        finally:
+            if recording:
+                hierarchy.set_pending_log("i", None)
+                hierarchy.set_pending_log("d", None)
+        if recording:
+            wsets = None
+            if wset_i is not None:
+                wsets = (tuple(sorted(wset_i)), tuple(sorted(wset_d)))
+            MEMO.store(token, _Entry(
+                pre, _capture_post(sim, cycle, cur_block),
+                tuple(log_i), tuple(log_d), wsets))
+            self.events_recorded += 1
+        return cycle, cur_block
+
+
+def _run_streams_cold(sim, streams, cycle: float, cur_block: int,
+                      wset_i: set | None, wset_d: set | None
+                      ) -> tuple[float, int]:
+    """Segment-batched live execution of one event's (looper, true) pair.
+
+    Mirrors ``Simulator._run_streams_packed`` operation for operation —
+    same floating-point accumulation order, same cache/prefetcher
+    transitions — for the vector-eligible configuration subset (no
+    ESP/runahead side path, no table-based prefetchers), which lets the
+    per-instruction dispatch collapse to the lowered op arrays plus a
+    tight repeated-add loop over each plain-ALU gap.
+    """
+    config = sim.config
+    core = config.core
+    result = sim.result
+    hierarchy = sim.hierarchy
+    stall_model = sim.stall_model
+    nl_i, dcu = sim.nl_i, sim.dcu
+
+    perfect = config.perfect
+    perfect_i = perfect.l1i
+    perfect_d = perfect.l1d
+    perfect_b = perfect.branch
+
+    base_cpi = core.base_cpi
+    fetch_hide = core.fetch_hide_cycles
+    long_latency = hierarchy.l2_latency
+    mispredict_penalty = core.mispredict_penalty
+    bubble_penalty = core.btb_bubble_penalty
+    issue_prefetch = hierarchy.prefetch
+    exposed_of = stall_model.exposed
+    execute_branch = sim.predictor.execute_branch
+
+    l1i = hierarchy.l1i
+    l1i_sets = l1i._sets
+    l1i_nsets = l1i.num_sets
+    l1d = hierarchy.l1d
+    l1d_sets = l1d._sets
+    l1d_nsets = l1d.num_sets
+    miss_after_l1 = hierarchy.miss_after_l1
+    l1i_stats = l1i.stats
+    l1d_stats = l1d.stats
+    c1i_accesses = l1i_stats.accesses
+    c1i_misses = l1i_stats.misses
+    c1d_accesses = l1d_stats.accesses
+    c1d_misses = l1d_stats.misses
+
+    nl_i_degree = nl_i.degree if nl_i is not None else 0
+    nl_last = nl_i._last_block if nl_i is not None else None
+    if dcu is not None:
+        dcu_trigger = dcu.trigger
+        dcu_streak_block = dcu._streak_block
+        dcu_streak = dcu._streak
+        dcu_armed_for = dcu._armed_for
+
+    instructions = result.instructions
+    l1i_accesses = result.l1i_accesses
+    l1i_misses = result.l1i_misses
+    llc_i_misses = result.llc_i_misses
+    stall_ifetch = result.stall_ifetch
+    l1d_accesses = result.l1d_accesses
+    l1d_misses = result.l1d_misses
+    llc_d_misses = result.llc_d_misses
+    stall_data = result.stall_data
+    branches = result.branches
+    branch_mispredicts = result.branch_mispredicts
+    stall_branch = result.stall_branch
+
+    for packed in streams:
+        low = lowering_of(packed)
+        gaps = low.gaps
+        bounds = low.bound
+        blocks = low.blocks
+        kinds = low.kinds
+        pcs = low.pcs
+        dblocks = low.dblocks
+        takens = low.takens
+        targets = low.targets
+
+        for i in range(len(gaps)):
+            gap = gaps[i]
+            if gap:
+                # a segment of plain ALU work: the only architectural
+                # effect is `gap` retired instructions and `gap`
+                # *sequential* base_cpi additions (0.72 is not exactly
+                # representable; a single gap*base_cpi add would round
+                # differently than the object path)
+                instructions += gap
+                for _ in _repeat(None, gap):
+                    cycle += base_cpi
+            instructions += 1
+            cycle += base_cpi
+
+            # ---- instruction fetch ----
+            if bounds[i]:
+                block = blocks[i]
+                if block != cur_block:
+                    cur_block = block
+                    if wset_i is not None:
+                        wset_i.add(block)
+                    if not perfect_i:
+                        l1i_accesses += 1
+                        c1i_accesses += 1
+                        cache_set = l1i_sets[block % l1i_nsets]
+                        if block in cache_set:
+                            cache_set.move_to_end(block)
+                        else:
+                            c1i_misses += 1
+                            res = miss_after_l1("i", block, int(cycle))
+                            if not (res.prefetched and res.latency == 0):
+                                l1i_misses += 1
+                                exposed = res.latency - fetch_hide
+                                if exposed > 0:
+                                    cycle += exposed
+                                    stall_ifetch += exposed
+                                    if res.llc_miss:
+                                        llc_i_misses += 1
+                        if nl_i is not None and block != nl_last:
+                            nl_last = block
+                            pb = block
+                            for _ in range(nl_i_degree):
+                                pb += 1
+                                issue_prefetch("i", pb, int(cycle))
+
+            kind = kinds[i]
+            if kind == KIND_ALU:
+                continue
+
+            # ---- data access ----
+            if kind == KIND_LOAD or kind == KIND_STORE:
+                dblock = dblocks[i]
+                if wset_d is not None:
+                    wset_d.add(dblock)
+                l1d_accesses += 1
+                if not perfect_d:
+                    c1d_accesses += 1
+                    cache_set = l1d_sets[dblock % l1d_nsets]
+                    if dblock in cache_set:
+                        cache_set.move_to_end(dblock)
+                    else:
+                        c1d_misses += 1
+                        res = miss_after_l1("d", dblock, int(cycle))
+                        if not (res.prefetched and res.latency == 0):
+                            l1d_misses += 1
+                            long_stall = res.llc_miss or \
+                                res.latency > long_latency
+                            exposed = exposed_of(
+                                instructions, cycle, res.latency,
+                                long_stall)
+                            if exposed > 0:
+                                cycle += exposed
+                                stall_data += exposed
+                            if res.llc_miss:
+                                llc_d_misses += 1
+                    if dcu is not None:
+                        if dblock == dcu_streak_block:
+                            dcu_streak += 1
+                        else:
+                            dcu_streak_block = dblock
+                            dcu_streak = 1
+                        if dcu_streak == dcu_trigger \
+                                and dcu_armed_for != dblock:
+                            dcu_armed_for = dblock
+                            issue_prefetch("d", dblock + 1, int(cycle))
+                continue
+
+            # ---- control flow ----
+            branches += 1
+            if perfect_b:
+                continue
+            outcome = execute_branch(pcs[i], kind, takens[i], targets[i])
+            if outcome.mispredicted:
+                branch_mispredicts += 1
+                cycle += mispredict_penalty
+                stall_branch += mispredict_penalty
+            elif outcome.minor_bubble:
+                cycle += bubble_penalty
+                stall_branch += bubble_penalty
+
+        tail = low.tail_gap
+        if tail:
+            instructions += tail
+            for _ in _repeat(None, tail):
+                cycle += base_cpi
+
+    l1i_stats.accesses = c1i_accesses
+    l1i_stats.misses = c1i_misses
+    l1d_stats.accesses = c1d_accesses
+    l1d_stats.misses = c1d_misses
+    if nl_i is not None:
+        nl_i._last_block = nl_last
+    if dcu is not None:
+        dcu._streak_block = dcu_streak_block
+        dcu._streak = dcu_streak
+        dcu._armed_for = dcu_armed_for
+    result.instructions = instructions
+    result.l1i_accesses = l1i_accesses
+    result.l1i_misses = l1i_misses
+    result.llc_i_misses = llc_i_misses
+    result.stall_ifetch = stall_ifetch
+    result.l1d_accesses = l1d_accesses
+    result.l1d_misses = l1d_misses
+    result.llc_d_misses = llc_d_misses
+    result.stall_data = stall_data
+    result.branches = branches
+    result.branch_mispredicts = branch_mispredicts
+    result.stall_branch = stall_branch
+    return cycle, cur_block

@@ -14,13 +14,17 @@ interval model described in ``DESIGN.md``:
 * mispredicted branches pay the 15-cycle flush, BTB misses on unconditional
   direct branches a short decode bubble.
 
-The per-instruction loop has two implementations that produce bit-identical
-results: the *object path* walks ``list[Instruction]`` streams, and the
-*packed path* (the default whenever runahead is off) walks
-:class:`~repro.isa.stream.PackedStream` struct-of-arrays with locals-bound
-counters — roughly half the interpreter overhead per retired instruction.
-``use_packed=False`` forces the object path (the compatibility reference,
-and what the equivalence tests compare against).
+The per-instruction loop has three implementations that produce
+bit-identical results: the *object path* walks ``list[Instruction]``
+streams; the *packed path* walks :class:`~repro.isa.stream.PackedStream`
+struct-of-arrays with locals-bound counters — roughly half the interpreter
+overhead per retired instruction; and the *vector path*
+(:mod:`repro.sim.kernel`, the default for the configurations it covers)
+batches pre-lowered instruction segments and memoizes whole-event outcomes
+keyed by execution history. ``use_packed=False`` forces the object path
+(the compatibility reference the equivalence tests compare against); the
+``kernel`` constructor argument or the ``REPRO_KERNEL`` environment knob
+(``object`` / ``packed`` / ``vector``) pins a specific loop.
 
 Exposed LLC-miss stalls are handed to the configured side path — the ESP
 controller (pre-execute queued events) or the runahead controller
@@ -61,6 +65,12 @@ from repro.prefetch import (
 )
 from repro.runahead import RunaheadController
 from repro.sim.config import SimConfig
+from repro.sim.kernel import (
+    KERNEL_NAMES,
+    MemoRestart,
+    VectorKernel,
+    kernel_from_env,
+)
 from repro.sim.results import EventProfile, SimResult
 from repro.workloads.apps import AppProfile
 from repro.workloads.generator import EventTrace
@@ -76,17 +86,22 @@ class Simulator:
 
     def __init__(self, trace: EventTrace | AppProfile, config: SimConfig,
                  scale: float = 1.0, seed: int = 0,
-                 schedule=None, use_packed: bool | None = None) -> None:
+                 schedule=None, use_packed: bool | None = None,
+                 kernel: str | None = None) -> None:
         """``schedule`` (an :class:`~repro.runtime.ExecutionSchedule`)
         replays the trace's events in an arbitrary runtime-decided order
         with explicit next-event predictions — the multi-queue extension of
         Section 4.5. Omitted: in-order execution with perfect prediction.
 
-        ``use_packed`` selects the hot-loop implementation: ``None`` (auto)
-        takes the packed fast path whenever the configuration allows it,
-        ``False`` forces the object-stream compatibility path. Runahead
-        always uses the object path — its pre-execution consumes the
-        remainder of the live ``Instruction`` stream.
+        ``use_packed`` selects between the legacy hot loops: ``None``
+        (auto) takes the fastest eligible path, ``False`` forces the
+        object-stream compatibility path, ``True`` pins the packed loop.
+        ``kernel`` names a loop explicitly (``"object"`` / ``"packed"`` /
+        ``"vector"``); when omitted the ``REPRO_KERNEL`` environment knob
+        is consulted, and with neither set the fastest eligible kernel
+        wins (see :meth:`_resolve_kernel`). Runahead always uses the
+        object path — its pre-execution consumes the remainder of the live
+        ``Instruction`` stream.
         """
         if isinstance(trace, AppProfile):
             trace = EventTrace(trace, scale=scale, seed=seed)
@@ -94,6 +109,20 @@ class Simulator:
         self.schedule = schedule
         self.config = config
         self.use_packed = use_packed
+        if kernel is not None and kernel not in KERNEL_NAMES:
+            raise ValueError(f"unknown kernel {kernel!r} "
+                             f"(expected one of {', '.join(KERNEL_NAMES)})")
+        self.kernel = kernel
+        #: set by :meth:`run`: the hot-loop implementation actually used
+        self.kernel_used: str | None = None
+        #: set by :meth:`run` under the vector kernel: events satisfied
+        #: from / recorded into the segment memo
+        self.memo_events_replayed = 0
+        self.memo_events_recorded = 0
+        # the memo may only engage on a simulator whose microarchitectural
+        # state is provably the fresh-construction state: False as soon as
+        # a run starts or a checkpoint is restored
+        self._virgin = True
         self.hierarchy = MemoryHierarchy(config.memory)
         self.predictor = PentiumMPredictor(config.branch)
         self.result = SimResult(app=trace.profile.name, config=config.name)
@@ -200,16 +229,62 @@ class Simulator:
 
     # -- main loop ---------------------------------------------------------------
 
+    def _resolve_kernel(self) -> str:
+        """Pick the hot-loop implementation for this run.
+
+        Resolution order: ``use_packed=False`` and runahead force the
+        object path (runahead's pre-execution consumes the live object
+        stream); an explicit ``kernel`` constructor argument wins next;
+        then a legacy ``use_packed=True`` pins the packed loop; then the
+        ``REPRO_KERNEL`` environment knob; finally auto — the vector
+        kernel whenever the configuration is vector-eligible (no
+        ESP/runahead side path, no table-based prefetchers), the packed
+        loop otherwise. A ``vector`` request on an ineligible
+        configuration also falls back to packed: the request names a
+        preference, and eligibility is a property of the config.
+        """
+        if self.use_packed is False or self.runahead is not None:
+            return "object"
+        requested = self.kernel
+        if requested is None:
+            if self.use_packed is True:
+                return "packed"
+            requested = kernel_from_env()
+        if requested in ("object", "packed"):
+            return requested
+        eligible = (self.esp is None and self.runahead is None
+                    and self.stride is None and self.efetch is None
+                    and self.pif is None)
+        return "vector" if eligible else "packed"
+
+    def _reset_for_restart(self) -> None:
+        """Rebuild every stateful component from scratch for the live
+        re-run after a :class:`~repro.sim.kernel.MemoRestart` (memo
+        replay left caches/predictor stale; only a fresh start is exact).
+        Restarts only happen on vector-eligible configurations, so the
+        ESP/runahead controllers and table prefetchers (all ``None``
+        here) never need rebuilding.
+        """
+        config = self.config
+        self.hierarchy = MemoryHierarchy(config.memory)
+        self.predictor = PentiumMPredictor(config.branch)
+        self.stall_model = DataStallModel(config.core)
+        pf = config.prefetch
+        self.nl_i = NextLineIPrefetcher(pf.next_line_i_degree) \
+            if pf.next_line_i else None
+        self.dcu = DcuPrefetcher(pf.dcu_trigger) if pf.next_line_d else None
+        self.result = SimResult(app=self.trace.profile.name,
+                                config=config.name)
+        self.normal_i_working_sets.clear()
+        self.normal_d_working_sets.clear()
+        self.event_profiles.clear()
+
     def run(self, warmup_fraction: float = 0.2,
             max_events: int | None = None) -> SimResult:
         """Simulate the trace and return the measured statistics."""
         trace = self.trace
         config = self.config
-        result = self.result
-        hierarchy = self.hierarchy
-        predictor = self.predictor
         esp = self.esp
-        runahead = self.runahead
         replay = esp.replay if esp is not None else None
 
         if self.schedule is not None:
@@ -219,99 +294,146 @@ class Simulator:
         if max_events is not None:
             order = order[:max_events]
         n_events = len(order)
-        warmup_events = min(max(4, round(n_events * warmup_fraction)),
-                            max(0, n_events - 1))
+        computed_warmup = min(max(4, round(n_events * warmup_fraction)),
+                              max(0, n_events - 1))
 
-        # the packed fast path covers every configuration except runahead,
-        # whose pre-execution walks the live object stream from the stall
-        # point onwards
-        fast_path = self.use_packed is not False and runahead is None
+        kernel_name = self._resolve_kernel()
+        self.kernel_used = kernel_name
+        virgin = self._virgin
+        self._virgin = False
+        self.memo_events_replayed = 0
+        self.memo_events_recorded = 0
+        kern = None
+        if kernel_name == "vector":
+            # recording and replay both require the fresh-construction
+            # state the memo token chain starts from; replay additionally
+            # forbids an armed checkpoint sink (a checkpoint must capture
+            # live caches, which a replay streak leaves stale)
+            kern = VectorKernel(
+                self, record=virgin,
+                replay=virgin and self.checkpoint_sink is None)
+        fast_path = kernel_name == "packed"
+        vector_path = kernel_name == "vector"
         packed_looper_of = getattr(trace, "packed_looper_stream", None)
 
-        cycle = 0.0
-        cycle_offset = 0.0
-        cur_block = -1
-        start = 0
-        resume = self._pending_restore
-        if resume is not None:
-            self._pending_restore = None
-            if resume["n_events"] != n_events:
-                raise ValueError(
-                    f"checkpoint covers {resume['n_events']} events, "
-                    f"this run has {n_events}")
-            start = resume["position"]
-            # the checkpointed warmup boundary overrides the computed one,
-            # so a resume past warm-up never re-fires the measurement reset
-            warmup_events = resume["warmup_events"]
-            cycle = resume["cycle"]
-            cycle_offset = resume["cycle_offset"]
-            cur_block = resume["cur_block"]
+        while True:
+            result = self.result
+            predictor = self.predictor
 
-        checkpoint_every = self.checkpoint_every
-        checkpoint_sink = self.checkpoint_sink
-        event_hook = self.event_hook
+            warmup_events = computed_warmup
+            cycle = 0.0
+            cycle_offset = 0.0
+            cur_block = -1
+            start = 0
+            resume = self._pending_restore
+            if resume is not None:
+                self._pending_restore = None
+                if resume["n_events"] != n_events:
+                    raise ValueError(
+                        f"checkpoint covers {resume['n_events']} events, "
+                        f"this run has {n_events}")
+                start = resume["position"]
+                # the checkpointed warmup boundary overrides the computed
+                # one, so a resume past warm-up never re-fires the
+                # measurement reset
+                warmup_events = resume["warmup_events"]
+                cycle = resume["cycle"]
+                cycle_offset = resume["cycle_offset"]
+                cur_block = resume["cur_block"]
 
-        for position in range(start, n_events):
-            k = order[position]
-            if position == warmup_events:
-                self._reset_measurement()
-                predictor.predictions = 0
-                predictor.mispredictions = 0
-                # keep the clock monotonic: timestamps (prefetch ready
-                # times, outstanding-miss windows) are absolute
-                cycle_offset = cycle
-            if esp is not None:
-                esp.begin_event(k, int(cycle), position=position)
-            event_start = (cycle, result.instructions, result.stall_ifetch,
-                           result.stall_data, result.stall_branch)
-            event = trace.event(k)
-            if event.diverged:
-                result.esp.diverged_events += 1
-            wset_i: set[int] | None = set() if self.collect_working_sets \
-                else None
-            wset_d: set[int] | None = set() if self.collect_working_sets \
-                else None
+            checkpoint_every = self.checkpoint_every
+            checkpoint_sink = self.checkpoint_sink
+            event_hook = self.event_hook
 
-            if fast_path:
-                packer = getattr(event, "packed_true", None)
-                packed_true = packer() if packer is not None \
-                    else PackedStream.from_instructions(event.true_stream)
-                packed_looper = packed_looper_of(k) \
-                    if packed_looper_of is not None \
-                    else PackedStream.from_instructions(
-                        trace.looper_stream(k))
-                cycle, cur_block = self._run_streams_packed(
-                    (packed_looper, packed_true), cycle, cur_block,
-                    wset_i, wset_d)
-            else:
-                cycle, cur_block = self._run_streams_object(
-                    k, event, cycle, cur_block, wset_i, wset_d)
+            try:
+                for position in range(start, n_events):
+                    k = order[position]
+                    if position == warmup_events:
+                        self._reset_measurement()
+                        predictor.predictions = 0
+                        predictor.mispredictions = 0
+                        # keep the clock monotonic: timestamps (prefetch
+                        # ready times, outstanding-miss windows) are
+                        # absolute
+                        cycle_offset = cycle
+                    if esp is not None:
+                        esp.begin_event(k, int(cycle), position=position)
+                    event_start = (cycle, result.instructions,
+                                   result.stall_ifetch, result.stall_data,
+                                   result.stall_branch)
+                    event = trace.event(k)
+                    if event.diverged:
+                        result.esp.diverged_events += 1
+                    wset_i: set[int] | None = set() \
+                        if self.collect_working_sets else None
+                    wset_d: set[int] | None = set() \
+                        if self.collect_working_sets else None
 
-            result.events += 1
-            if self.collect_event_profile and position >= warmup_events:
-                self.event_profiles.append(EventProfile(
-                    event_index=k,
-                    instructions=result.instructions - event_start[1],
-                    cycles=cycle - event_start[0],
-                    stall_ifetch=result.stall_ifetch - event_start[2],
-                    stall_data=result.stall_data - event_start[3],
-                    stall_branch=result.stall_branch - event_start[4],
-                    hinted=replay.active if replay is not None else False))
-            if wset_i is not None:
-                self.normal_i_working_sets.append(len(wset_i))
-                self.normal_d_working_sets.append(len(wset_d))
-            if esp is not None:
-                esp.finish_event()
-            if checkpoint_every and checkpoint_sink is not None \
-                    and (position + 1) % checkpoint_every == 0 \
-                    and position + 1 < n_events:
-                self._loop_state = (position + 1, warmup_events, cycle,
-                                    cycle_offset, cur_block, n_events)
-                checkpoint_sink(self.checkpoint())
-                self._loop_state = None
-            if event_hook is not None:
-                event_hook(position)
+                    if fast_path or vector_path:
+                        packer = getattr(event, "packed_true", None)
+                        packed_true = packer() if packer is not None \
+                            else PackedStream.from_instructions(
+                                event.true_stream)
+                        packed_looper = packed_looper_of(k) \
+                            if packed_looper_of is not None \
+                            else PackedStream.from_instructions(
+                                trace.looper_stream(k))
+                        if vector_path:
+                            cycle, cur_block = kern.run_event(
+                                (packed_looper, packed_true), cycle,
+                                cur_block, wset_i, wset_d)
+                        else:
+                            cycle, cur_block = self._run_streams_packed(
+                                (packed_looper, packed_true), cycle,
+                                cur_block, wset_i, wset_d)
+                    else:
+                        cycle, cur_block = self._run_streams_object(
+                            k, event, cycle, cur_block, wset_i, wset_d)
 
+                    result.events += 1
+                    if self.collect_event_profile \
+                            and position >= warmup_events:
+                        self.event_profiles.append(EventProfile(
+                            event_index=k,
+                            instructions=result.instructions
+                            - event_start[1],
+                            cycles=cycle - event_start[0],
+                            stall_ifetch=result.stall_ifetch
+                            - event_start[2],
+                            stall_data=result.stall_data - event_start[3],
+                            stall_branch=result.stall_branch
+                            - event_start[4],
+                            hinted=replay.active if replay is not None
+                            else False))
+                    if wset_i is not None:
+                        self.normal_i_working_sets.append(len(wset_i))
+                        self.normal_d_working_sets.append(len(wset_d))
+                    if esp is not None:
+                        esp.finish_event()
+                    if checkpoint_every and checkpoint_sink is not None \
+                            and (position + 1) % checkpoint_every == 0 \
+                            and position + 1 < n_events:
+                        self._loop_state = (position + 1, warmup_events,
+                                            cycle, cycle_offset, cur_block,
+                                            n_events)
+                        checkpoint_sink(self.checkpoint())
+                        self._loop_state = None
+                    if event_hook is not None:
+                        event_hook(position)
+            except MemoRestart:
+                # a memo miss after ≥1 replayed event: the skipped live
+                # execution left caches/predictor stale, so rebuild from
+                # scratch and run the whole trace live (still recording)
+                self._reset_for_restart()
+                kern.prepare_restart()
+                continue
+            break
+
+        result = self.result
+        hierarchy = self.hierarchy
+        if kern is not None:
+            self.memo_events_replayed = kern.events_replayed
+            self.memo_events_recorded = kern.events_recorded
         result.cycles = cycle - cycle_offset
         # fold in the hierarchy's prefetch-effectiveness counters
         i_stats = hierarchy.prefetch_stats("i")
@@ -340,6 +462,10 @@ class Simulator:
         """
         r = self.result
         registry.inc("sim.runs")
+        if self.kernel_used is not None:
+            registry.inc(f"sim.kernel.{self.kernel_used}")
+        registry.inc("memo.events_replayed", self.memo_events_replayed)
+        registry.inc("memo.events_recorded", self.memo_events_recorded)
         registry.inc("sim.instructions", r.instructions)
         registry.inc("sim.cycles", int(r.cycles))
         registry.inc("sim.events", r.events)
@@ -384,6 +510,15 @@ class Simulator:
         stall_model = self.stall_model
         esp = self.esp
         replay = esp.replay if esp is not None else None
+        if replay is not None and not replay.active:
+            # `active` is constant for the whole event (set only by
+            # attach(), before the kernel runs) and inactive means every
+            # entry list is empty — poll/before_branch would be no-ops, so
+            # drop the engine instead of calling into it per block/branch
+            replay = None
+        replay_poll = replay.poll if replay is not None else None
+        replay_before_branch = replay.before_branch \
+            if replay is not None else None
         nl_i, dcu, stride = self.nl_i, self.dcu, self.stride
         efetch, pif = self.efetch, self.pif
 
@@ -426,6 +561,7 @@ class Simulator:
         # is only ever advanced by this loop, so the DCU streak lives in
         # locals until the write-back
         nl_i_degree = nl_i.degree if nl_i is not None else 0
+        nl_last = nl_i._last_block if nl_i is not None else None
         if dcu is not None:
             dcu_trigger = dcu.trigger
             dcu_streak_block = dcu._streak_block
@@ -465,8 +601,8 @@ class Simulator:
                     cur_block = block
                     if wset_i is not None:
                         wset_i.add(block)
-                    if replay is not None:
-                        replay.poll(instructions - icount_base, int(cycle))
+                    if replay_poll is not None:
+                        replay_poll(instructions - icount_base, int(cycle))
                     if not perfect_i:
                         l1i_accesses += 1
                         c1i_accesses += 1
@@ -489,9 +625,8 @@ class Simulator:
                                         if esp is not None:
                                             esp.on_stall(int(cycle),
                                                          exposed)
-                        if nl_i is not None \
-                                and block != nl_i._last_block:
-                            nl_i._last_block = block
+                        if nl_i is not None and block != nl_last:
+                            nl_last = block
                             pb = block
                             for _ in range(nl_i_degree):
                                 pb += 1
@@ -558,8 +693,8 @@ class Simulator:
                     continue
                 if kind == KIND_BRANCH or kind == KIND_IBRANCH:
                     event_branches += 1
-                    if replay is not None:
-                        replay.before_branch(event_branches)
+                    if replay_before_branch is not None:
+                        replay_before_branch(event_branches)
                 taken = takens[pos]
                 if efetch is not None:
                     if kind == KIND_CALL or (kind == KIND_IBRANCH
@@ -583,6 +718,8 @@ class Simulator:
         l1i_stats.misses = c1i_misses
         l1d_stats.accesses = c1d_accesses
         l1d_stats.misses = c1d_misses
+        if nl_i is not None:
+            nl_i._last_block = nl_last
         if dcu is not None:
             dcu._streak_block = dcu_streak_block
             dcu._streak = dcu_streak
@@ -872,6 +1009,12 @@ class Simulator:
         self.event_profiles = [EventProfile(**p)
                                for p in state["event_profiles"]]
         self._pending_restore = dict(state["loop"])
+        # the segment memo is derived state: it is deliberately absent
+        # from the checkpoint payload, and a restored simulator is no
+        # longer at the fresh-construction state the memo token chain
+        # starts from — the resumed run executes live (vector cold pass
+        # at most), bit-identical to the uninterrupted run
+        self._virgin = False
 
 
 def simulate(app: str | AppProfile, config: SimConfig, scale: float = 1.0,

@@ -1,0 +1,319 @@
+"""The vector kernel's moving parts: segment lowering, the memo cache,
+the restart-on-divergence rule, and checkpoint/resume interplay.
+
+Bit-identity of the kernel as a whole against the object reference is
+pinned in ``test_packed_equivalence.py``; this module drills into the
+mechanisms — lowering edge cases (empty / single-instruction / trailing
+branch streams), warm-up boundaries landing mid-chain, memo poisoning,
+and the derived-state rule for checkpoints — plus the runner's
+single-CPU fan-out auto-disable.
+"""
+
+import json
+
+import pytest
+
+from repro.isa.instructions import (
+    KIND_ALU,
+    KIND_BRANCH,
+    KIND_LOAD,
+    KIND_STORE,
+    Instruction,
+)
+from repro.isa.segments import (
+    HAVE_NUMPY,
+    lower_stream,
+    lowering_of,
+)
+from repro.isa.stream import PackedStream
+from repro.sim import presets
+from repro.sim.config import SimConfig
+from repro.sim.kernel import MEMO, kernel_from_env
+from repro.sim.simulator import Simulator
+from repro.workloads.generator import EventTrace
+
+
+def _pack(insts):
+    return PackedStream.from_instructions(insts)
+
+
+class TestSegmentLowering:
+    def test_empty_stream(self):
+        low = lower_stream(_pack([]))
+        assert low.n == 0
+        assert low.n_ops == 0
+        assert low.tail_gap == 0
+        assert low.instruction_count() == 0
+
+    def test_single_instruction(self):
+        low = lower_stream(_pack([Instruction(0x40, KIND_ALU)]))
+        # the sole instruction is a boundary op: gap 0, no tail
+        assert low.n_ops == 1
+        assert low.gaps == [0]
+        assert low.bound == [True]
+        assert low.tail_gap == 0
+        assert low.instruction_count() == 1
+
+    def test_branch_as_last_instruction(self):
+        insts = [Instruction(0x40 + 4 * i, KIND_ALU) for i in range(4)]
+        insts.append(Instruction(0x50, KIND_BRANCH, taken=True,
+                                 target=0x40))
+        low = lower_stream(_pack(insts))
+        assert low.kinds[-1] == KIND_BRANCH
+        assert low.tail_gap == 0
+        assert low.instruction_count() == len(insts)
+
+    def test_alu_tail_collapses(self):
+        insts = [Instruction(0x40, KIND_LOAD, addr=0x2000)]
+        insts += [Instruction(0x44 + 4 * i, KIND_ALU) for i in range(5)]
+        low = lower_stream(_pack(insts))
+        assert low.n_ops == 1
+        assert low.tail_gap == 5
+        assert low.instruction_count() == 6
+
+    def test_block_crossing_is_a_boundary(self):
+        # 0x7c -> 0x80 crosses a 64-byte block edge mid-ALU-run
+        insts = [Instruction(0x78, KIND_ALU), Instruction(0x7c, KIND_ALU),
+                 Instruction(0x80, KIND_ALU), Instruction(0x84, KIND_ALU)]
+        low = lower_stream(_pack(insts))
+        assert low.n_ops == 2
+        assert low.bound == [True, True]
+        assert low.blocks == [0x78 >> 6, 0x80 >> 6]
+        assert low.tail_gap == 1
+        assert low.instruction_count() == 4
+
+    def test_mem_dblocks_and_boundary_blocks(self):
+        insts = [Instruction(0x40, KIND_LOAD, addr=0x2000),
+                 Instruction(0x44, KIND_STORE, addr=0x3000),
+                 Instruction(0x48, KIND_ALU)]
+        low = lower_stream(_pack(insts))
+        assert low.mem_dblocks == (0x2000 >> 6, 0x3000 >> 6)
+        assert low.boundary_blocks == (0x40 >> 6,)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+    def test_numpy_and_python_paths_agree(self, tiny_trace):
+        for k in range(len(tiny_trace)):
+            packed = tiny_trace.event(k).packed_true()
+            a = lower_stream(packed)
+            b = lower_stream(packed, force_python=True)
+            assert a.used_numpy and not b.used_numpy
+            for field in ("n", "gaps", "bound", "blocks", "kinds", "pcs",
+                          "dblocks", "takens", "targets", "tail_gap",
+                          "boundary_blocks", "mem_dblocks"):
+                assert getattr(a, field) == getattr(b, field), field
+
+    def test_lowering_cached_on_stream(self, tiny_trace):
+        packed = tiny_trace.event(0).packed_true()
+        assert lowering_of(packed) is lowering_of(packed)
+
+    def test_instruction_count_invariant(self, tiny_trace):
+        for k in range(len(tiny_trace)):
+            packed = tiny_trace.event(k).packed_true()
+            assert lower_stream(packed).instruction_count() == len(packed)
+
+
+class TestKernelSelection:
+    def test_invalid_constructor_kernel_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            Simulator(tiny_trace, SimConfig(), kernel="turbo")
+
+    def test_env_knob(self, tiny_trace, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "object")
+        sim = Simulator(tiny_trace, SimConfig())
+        sim.run()
+        assert sim.kernel_used == "object"
+        assert kernel_from_env() == "object"
+
+    def test_env_blank_is_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "")
+        assert kernel_from_env() is None
+
+    def test_env_invalid_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "warp9")
+        monkeypatch.setattr("repro.sim.kernel._warned_bad_kernel", False)
+        with pytest.warns(RuntimeWarning, match="REPRO_KERNEL"):
+            assert kernel_from_env() is None
+
+    def test_auto_prefers_vector_when_eligible(self, tiny_trace):
+        sim = Simulator(tiny_trace, presets.by_name("nl"))
+        sim.run()
+        assert sim.kernel_used == "vector"
+
+    def test_use_packed_true_still_means_packed(self, tiny_trace):
+        sim = Simulator(tiny_trace, presets.by_name("nl"),
+                        use_packed=True)
+        sim.run()
+        assert sim.kernel_used == "packed"
+
+    def test_use_packed_false_still_means_object(self, tiny_trace):
+        sim = Simulator(tiny_trace, presets.by_name("nl"),
+                        use_packed=False)
+        sim.run()
+        assert sim.kernel_used == "object"
+
+
+def _fresh_trace(tiny_app, seed=11):
+    return EventTrace(tiny_app, scale=1.0, seed=seed)
+
+
+class TestSegmentMemo:
+    def test_warm_run_replays_and_matches(self, tiny_app):
+        config = presets.by_name("nl")
+        reference = Simulator(_fresh_trace(tiny_app), config,
+                              use_packed=False).run().to_dict()
+        cold = Simulator(_fresh_trace(tiny_app), config, kernel="vector")
+        assert cold.run().to_dict() == reference
+        assert cold.memo_events_recorded > 0
+        warm = Simulator(_fresh_trace(tiny_app), config, kernel="vector")
+        assert warm.run().to_dict() == reference
+        assert warm.memo_events_replayed == cold.memo_events_recorded
+        assert warm.memo_events_recorded == 0
+
+    def test_warmup_boundary_mismatch_restarts_exactly(self, tiny_app):
+        """A replay chain recorded under one warm-up fraction must not
+        leak into a run using another: the measurement reset lands at a
+        different event, the pre-state key diverges mid-chain, and the
+        kernel restarts the whole run live — still bit-identical."""
+        config = presets.by_name("nl")
+        seed = 47
+        rec = Simulator(_fresh_trace(tiny_app, seed=seed), config,
+                        kernel="vector")
+        rec.run(warmup_fraction=0.2)
+        assert rec.memo_events_recorded > 0
+        reference = Simulator(_fresh_trace(tiny_app, seed=seed), config,
+                              use_packed=False).run(
+                                  warmup_fraction=0.5).to_dict()
+        poisoned_before = MEMO.poisoned
+        crossed = Simulator(_fresh_trace(tiny_app, seed=seed), config,
+                            kernel="vector")
+        assert crossed.run(warmup_fraction=0.5).to_dict() == reference
+        # the whole run executed live after the restart, so every event
+        # was recorded (under the second chain's diverging pre keys)
+        assert crossed.memo_events_replayed == 0
+        assert crossed.memo_events_recorded \
+            == len(_fresh_trace(tiny_app, seed=seed))
+        assert MEMO.poisoned == poisoned_before
+        # and the second chain is itself replayable now
+        warm = Simulator(_fresh_trace(tiny_app, seed=seed), config,
+                         kernel="vector")
+        assert warm.run(warmup_fraction=0.5).to_dict() == reference
+        assert warm.memo_events_replayed > 0
+
+    def test_poisoned_entry_detected_never_reused(self, tiny_app):
+        config = presets.by_name("baseline")
+        seed = 23
+        # isolate the memo so the poisoned entry is guaranteed to be on
+        # the chain the warm run walks
+        MEMO.clear()
+        cold = Simulator(EventTrace(tiny_app, scale=1.0, seed=seed),
+                         config, kernel="vector")
+        reference = cold.run().to_dict()
+        assert cold.memo_events_recorded > 0
+        # corrupt one recorded post-state in place, bypassing the API
+        # (simulating a bit flip / buggy writer); its checksum is stale
+        entry = next(e for by_pre in MEMO._tokens.values()
+                     for e in by_pre.values())
+        post = list(entry.post)
+        post[0] += 1e6  # cycle
+        entry.post = tuple(post)
+        poisoned_before = MEMO.poisoned
+        warm = Simulator(EventTrace(tiny_app, scale=1.0, seed=seed),
+                         config, kernel="vector")
+        assert warm.run().to_dict() == reference
+        assert MEMO.poisoned == poisoned_before + 1
+
+    def test_memo_counters_move(self, tiny_app):
+        before = (MEMO.hits, MEMO.stores)
+        Simulator(_fresh_trace(tiny_app, seed=31),
+                  presets.by_name("baseline"), kernel="vector").run()
+        Simulator(_fresh_trace(tiny_app, seed=31),
+                  presets.by_name("baseline"), kernel="vector").run()
+        assert MEMO.stores > before[1]
+        assert MEMO.hits > before[0]
+
+
+class TestVectorCheckpointing:
+    def test_resume_is_bit_identical_and_memo_free(self, tiny_app):
+        """Kill/resume cuts under the vector kernel: every resumed run
+        equals the uninterrupted one, and the resumed simulator (being
+        non-virgin) neither replays from nor records into the memo."""
+        config = presets.by_name("nl")
+        states = []
+        sim = Simulator(_fresh_trace(tiny_app, seed=7), config,
+                        kernel="vector")
+        sim.checkpoint_every = 3
+        sim.checkpoint_sink = states.append
+        clean = sim.run().to_dict()
+        # an armed sink suppresses replay (a checkpoint must capture
+        # live caches), but recording stays on
+        assert sim.memo_events_replayed == 0
+        assert len(states) >= 3
+        for state in states:
+            state = json.loads(json.dumps(state))
+            fresh = Simulator(_fresh_trace(tiny_app, seed=7), config,
+                              kernel="vector")
+            fresh.restore(state)
+            assert fresh.run().to_dict() == clean, \
+                f"resume from event {state['loop']['position']} diverged"
+            assert fresh.memo_events_replayed == 0
+            assert fresh.memo_events_recorded == 0
+
+    def test_checkpointed_run_matches_memo_warm_run(self, tiny_app):
+        """The suppressed-replay checkpointed run and a memo-warm
+        uncheckpointed run agree with the object reference."""
+        config = presets.by_name("baseline")
+        reference = Simulator(_fresh_trace(tiny_app, seed=13), config,
+                              use_packed=False).run().to_dict()
+        sink = Simulator(_fresh_trace(tiny_app, seed=13), config,
+                         kernel="vector")
+        sink.checkpoint_every = 2
+        sink.checkpoint_sink = lambda state: None
+        assert sink.run().to_dict() == reference
+        warm = Simulator(_fresh_trace(tiny_app, seed=13), config,
+                         kernel="vector")
+        assert warm.run().to_dict() == reference
+        assert warm.memo_events_replayed > 0
+
+
+class TestAutoJobs:
+    def test_auto_jobs_single_cpu_disables_fanout(self, tmp_path,
+                                                  monkeypatch):
+        from repro.sim import experiments
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(experiments, "available_cpus", lambda: 1)
+        monkeypatch.setattr(experiments, "_warned_single_cpu", False)
+        with pytest.warns(RuntimeWarning, match="single-CPU"):
+            runner = experiments.ExperimentRunner(
+                cache_dir=tmp_path, jobs="auto", log_dir=tmp_path / "log")
+        assert runner.jobs == 1
+        records = [json.loads(line) for path
+                   in (tmp_path / "log").glob("*.jsonl")
+                   for line in path.read_text().splitlines()]
+        assert any(r.get("kind") == "fanout-disabled" for r in records)
+
+    def test_auto_jobs_multi_cpu_fans_out(self, tmp_path, monkeypatch):
+        from repro.sim import experiments
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(experiments, "available_cpus", lambda: 4)
+        runner = experiments.ExperimentRunner(cache_dir=tmp_path,
+                                              jobs="auto")
+        assert runner.jobs == 4
+
+    def test_repro_jobs_env_beats_auto(self, tmp_path, monkeypatch):
+        from repro.sim import experiments
+
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        monkeypatch.setattr(experiments, "available_cpus", lambda: 1)
+        runner = experiments.ExperimentRunner(cache_dir=tmp_path,
+                                              jobs="auto")
+        assert runner.jobs == 3
+
+    def test_explicit_int_jobs_untouched(self, tmp_path, monkeypatch):
+        from repro.sim import experiments
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        monkeypatch.setattr(experiments, "available_cpus", lambda: 1)
+        runner = experiments.ExperimentRunner(cache_dir=tmp_path, jobs=2)
+        assert runner.jobs == 2
