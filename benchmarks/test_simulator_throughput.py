@@ -7,8 +7,11 @@ exist (``repro.sim.simulator``): the object path over
 segment-batch kernel with whole-event memoization
 (``repro.sim.kernel``). The benchmarks time all three;
 ``test_record_throughput_snapshot`` writes the measured speedups to
-``output/BENCH_throughput.json`` for the record (schema v2: wall
-seconds, Minstr/s and the selected kernel per path).
+``output/BENCH_throughput.json`` for the record (schema v3: wall
+seconds, Minstr/s and the selected kernel per path, plus one grid row
+per execution backend — serial / thread / process / auto with its
+resolved pick — so the recorded numbers say how each fan-out strategy
+actually performed on the recording machine).
 
 Timing discipline: every path is measured best-of-N over *fresh*
 simulators. For the vector kernel the first rep records into the segment
@@ -36,9 +39,10 @@ from repro.workloads import EventTrace, get_app
 
 _OUTPUT_DIR = Path(__file__).parent / "output"
 
-#: snapshot layout: 2 adds per-path Minstr/s, per-row kernel names, the
-#: vector rows and the auto-jobs grid row
-SNAPSHOT_SCHEMA_VERSION = 2
+#: snapshot layout: 3 adds the per-execution-backend grid rows (and 2
+#: added per-path Minstr/s, per-row kernel names, the vector rows and
+#: the auto-jobs grid row)
+SNAPSHOT_SCHEMA_VERSION = 3
 
 
 def _prewarmed_trace(scale: float = 1.0) -> EventTrace:
@@ -216,6 +220,25 @@ def test_record_throughput_snapshot(tmp_path_factory):
                 "single-core containers",
     }
 
+    # one row per execution backend, same 2x2 grid: the honest per-
+    # strategy cost on this machine, with what `auto` resolved to
+    backends = {}
+    for name in ("serial", "thread", "process", "auto"):
+        cache = tmp_path_factory.mktemp(f"snapshot-backend-{name}")
+        runner = ExperimentRunner(cache_dir=cache, scale=0.25, seed=0,
+                                  jobs=2, backend=name)
+        start = time.perf_counter()
+        runner.grid(grid_configs, apps=grid_apps)
+        row = {
+            "wall_s": round(time.perf_counter() - start, 4),
+            "jobs": runner.jobs,
+            "resolved": runner.backend_name,
+        }
+        if runner.backend_choice is not None:
+            row["auto_reason"] = runner.backend_choice.reason
+        backends[name] = row
+    snapshot["grid_2x2_scale0.25"]["backends"] = backends
+
     _OUTPUT_DIR.mkdir(exist_ok=True)
     (_OUTPUT_DIR / "BENCH_throughput.json").write_text(
         json.dumps(snapshot, indent=2) + "\n")
@@ -224,3 +247,6 @@ def test_record_throughput_snapshot(tmp_path_factory):
     for entry in snapshot["single_thread"].values():
         assert entry["speedup"] > 0
         assert entry["vector_speedup_vs_object"] > 0
+    for name, row in backends.items():
+        assert row["wall_s"] > 0
+        assert row["resolved"] in ("serial", "thread", "process"), row

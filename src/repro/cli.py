@@ -14,7 +14,8 @@ Commands:
 * ``presets`` — list the named machine configurations.
 * ``inspect`` — per-event anatomy of one app's trace.
 * ``stats`` — aggregate the harness's JSONL run logs (cache hit rates,
-  per-app wall-clock and throughput, retry counts, checkpoints written,
+  per-app wall-clock and throughput, the execution backend that served
+  each app's simulated runs, retry counts, checkpoints written,
   checkpoint resumes and stalled-worker kills); ``--json`` emits the
   machine-readable summary instead of the table.
 """
@@ -55,7 +56,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.workloads import APP_NAMES
 
     runner = ExperimentRunner(scale=args.scale, seed=args.seed,
-                              jobs=args.jobs)
+                              jobs=args.jobs, backend=args.backend)
     if args.resume:
         try:
             resumed = runner.resume_grid()
@@ -109,6 +110,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         names.insert(0, "--json")
     if args.jobs is not None:
         names = ["--jobs", str(args.jobs)] + names
+    if args.backend is not None:
+        names = ["--backend", args.backend] + names
     figures_main(names or None)
     return 0
 
@@ -224,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="workload seed (default: REPRO_SEED or 0)")
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes (default: REPRO_JOBS or 1)")
+    p.add_argument("--backend", default=None,
+                   choices=["serial", "thread", "process", "auto"],
+                   help="execution backend (default: REPRO_BACKEND, or "
+                        "derived from --jobs: process when jobs > 1)")
     p.add_argument("--label", default=None,
                    help="label recorded in the grid manifest")
     p.add_argument("--resume", action="store_true",
@@ -239,6 +246,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="worker processes for the simulation grid "
                         "(default: REPRO_JOBS or 1)")
+    p.add_argument("--backend", default=None,
+                   choices=["serial", "thread", "process", "auto"],
+                   help="execution backend for the simulation grid "
+                        "(default: REPRO_BACKEND or derived from --jobs)")
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("calibrate", help="workload calibration report")

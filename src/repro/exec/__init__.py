@@ -1,0 +1,43 @@
+"""Pluggable execution backends for the experiment harness.
+
+``ExperimentRunner.run_many`` delegates batch execution to an
+:class:`~repro.exec.base.ExecutionBackend`, selected by the
+``REPRO_BACKEND`` environment variable (or the ``backend`` constructor
+argument / ``--backend`` CLI flag): ``serial``, ``thread``, ``process``,
+or ``auto`` — which measures the machine shape (:mod:`repro.exec.auto`)
+and resolves to one of the other three. See :mod:`repro.exec.base` for
+the interface contract and the per-backend rationale.
+"""
+
+from repro.exec.auto import BackendChoice, auto_pick
+from repro.exec.base import BACKEND_NAMES, ExecutionBackend, SerialBackend
+from repro.exec.process import ProcessBackend
+from repro.exec.thread import ThreadBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendChoice",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "auto_pick",
+    "make_backend",
+]
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+
+def make_backend(name: str) -> ExecutionBackend:
+    """Instantiate the concrete backend called ``name`` (``auto`` is not
+    concrete — resolve it through :func:`auto_pick` first)."""
+    try:
+        return _BACKENDS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {name!r}; expected one of "
+            f"{sorted(_BACKENDS)}") from None

@@ -1,0 +1,87 @@
+"""The execution-backend interface and the in-process serial backend.
+
+An :class:`ExecutionBackend` owns how one ``run_many`` batch of uncached
+(key, app, config) tasks is executed: submission to workers, per-task
+deadline accounting (measured from when a task *starts*, never from when
+it was queued), straggler cancellation, and handing unfinished tasks back
+to the runner's serial retry ladder. The runner keeps the grid logic —
+dedup, cache lookups, manifests, attempt budgets — and delegates the
+fan-out itself, so every backend shares one recovery path instead of
+re-implementing three.
+
+Four implementations exist:
+
+* ``serial`` (:class:`SerialBackend`, here) — no fan-out at all; every
+  task flows through the runner's in-process completion ladder with zero
+  submission overhead.
+* ``thread`` (:mod:`repro.exec.thread`) — a thread pool over per-thread
+  runner clones; correct under the GIL today and positioned for
+  GIL-releasing compiled kernels.
+* ``process`` (:mod:`repro.exec.process`) — worker processes with the
+  broken-pool / timeout / memory-pressure recovery ladder.
+* ``auto`` (:mod:`repro.exec.auto`) — not a backend class but a picker:
+  measures the machine's shape and resolves to one of the other three.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.obs.progress import ProgressLine
+    from repro.sim.experiments import ExperimentRunner
+
+#: the valid ``REPRO_BACKEND`` values (``auto`` resolves to the others)
+BACKEND_NAMES = ("serial", "thread", "process", "auto")
+
+#: how often the parallel backends poll pending futures for task starts
+#: and expired deadlines (seconds); small enough that a deadline is
+#: enforced within ~poll of expiry, large enough to stay off the hot path
+DEADLINE_POLL_S = 0.05
+
+#: the pending-future wait chunk when no deadline needs enforcing
+IDLE_POLL_S = 0.25
+
+
+class ExecutionBackend:
+    """How one batch of uncached grid tasks is executed.
+
+    Stateless across batches: one instance serves every ``run_many`` call
+    of a runner. ``run_batch`` fills ``results`` with whatever completed
+    and returns the tasks that did not — the runner finishes those through
+    its serial attempt ladder (bounded retries, backoff, failure marking),
+    which is the single retry hand-back path shared by all backends.
+    """
+
+    #: the resolved backend name (``serial`` / ``thread`` / ``process``)
+    name = "backend"
+
+    #: whether ``run_many`` should route batches through :meth:`run_batch`
+    #: (False means every task goes straight to the serial ladder)
+    parallel = False
+
+    def run_batch(self, runner: "ExperimentRunner",
+                  todo: list[tuple[str, str, object]],
+                  results: dict, progress: "ProgressLine"
+                  ) -> list[tuple[str, str, object]]:
+        """Execute ``todo`` (``(key, app, config)`` triples), filling
+        ``results[key]`` with :class:`~repro.sim.results.SimResult`
+        objects; return the entries needing the serial retry ladder."""
+        raise NotImplementedError
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution: zero submission overhead, no parallelism.
+
+    ``parallel`` is False, so the runner never even calls
+    :meth:`run_batch` — the whole batch flows through the completion
+    ladder exactly as a ``jobs=1`` runner always has. The method still
+    honours the interface (identity) for callers driving a backend
+    directly.
+    """
+
+    name = "serial"
+    parallel = False
+
+    def run_batch(self, runner, todo, results, progress):
+        return list(todo)

@@ -1,0 +1,140 @@
+"""Thread-pool execution backend.
+
+Threads share the interpreter, so today — under the GIL — this backend
+buys concurrency (tasks overlap their file I/O: trace loads, cache and
+checkpoint writes) rather than CPU parallelism; the hot simulation loops
+serialise. It exists because it is *correct and cheap*: no fork, no
+pickling, no broken-pool recovery, and the moment the kernel hot loops
+move to GIL-releasing compiled code (or a free-threaded build), the same
+backend scales across cores. ``auto`` picks it when worker processes are
+unavailable or too expensive to start.
+
+Each pool thread runs tasks on its own serial clone of the parent runner
+(:meth:`ExperimentRunner._thread_clone` — same cache directory, scale,
+seed and logging, but ``is_worker`` stays False so the process-hazard
+hooks: mid-simulation fault injection, memory rlimits, heartbeats —
+which ``os._exit`` or stall the process they run in — are never armed
+inside the parent). Clones share the parent's on-disk caches through the
+same atomic write-to-temp + rename protocol that makes concurrent worker
+*processes* safe, so results are bit-identical to serial runs.
+
+Deadline accounting is worker-side: each task stamps ``time.monotonic()``
+as its first action, so the queue wait behind busy pool threads is never
+charged against ``task_timeout`` (it is reported to the
+``backend.queue_wait_s`` metric instead). A thread cannot be killed, so
+an expired straggler is abandoned — handed back to the serial retry
+ladder while the thread finishes into the shared caches harmlessly — and
+the pool is shut down without waiting for it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro.exec.base import DEADLINE_POLL_S, IDLE_POLL_S, ExecutionBackend
+
+
+class ThreadBackend(ExecutionBackend):
+    """Fan one batch out over a thread pool of serial runner clones."""
+
+    name = "thread"
+    parallel = True
+
+    def run_batch(self, runner, todo, results, progress):
+        try:
+            pool = ThreadPoolExecutor(
+                max_workers=runner._fanout_workers(len(todo)),
+                thread_name_prefix="repro-exec")
+        except (OSError, RuntimeError, ValueError):
+            return list(todo)  # cannot start threads: serial fallback
+        local = threading.local()
+        lock = threading.Lock()
+        started: dict = {}  # key -> monotonic stamp, set by the worker
+
+        def execute(key, app, config):
+            with lock:
+                started[key] = time.monotonic()
+            clone = getattr(local, "runner", None)
+            if clone is None:
+                clone = runner._thread_clone()
+                local.runner = clone
+            return clone.run(app, config)
+
+        wait_on_exit = True
+        try:
+            meta: dict = {}       # future -> (submit index, key, app)
+            submitted: dict = {}  # key -> monotonic submission stamp
+            pending = set()
+            for index, (key, app, config) in enumerate(todo):
+                future = pool.submit(execute, key, app, config)
+                meta[future] = (index, key, app)
+                submitted[key] = time.monotonic()
+                pending.add(future)
+            poll = DEADLINE_POLL_S if runner.task_timeout is not None \
+                else IDLE_POLL_S
+            last_progress = time.monotonic()
+            while pending:
+                done, pending = wait(pending, timeout=poll,
+                                     return_when=FIRST_COMPLETED)
+                now = time.monotonic()
+                if done:
+                    last_progress = now
+                for future in sorted(done, key=lambda f: meta[f][0]):
+                    _, key, app = meta[future]
+                    if future.cancelled():
+                        continue  # cancelled queued task: already handed back
+                    try:
+                        result = future.result()
+                    except MemoryError:
+                        runner._note_memory_pressure(key, app)
+                        continue
+                    except Exception:  # noqa: BLE001 — ladder re-raises
+                        # a genuine error inside the task: the serial
+                        # ladder owns the attempt budget, so hand it back
+                        # rather than crash the batch
+                        runner._note_error(key, app)
+                        continue
+                    with lock:
+                        start = started.get(key)
+                    if start is not None:
+                        runner._note_queue_wait(
+                            key, app, max(0.0, start - submitted[key]))
+                    runner._memory[key] = result
+                    results[key] = result
+                    progress.advance(note=app)
+                with lock:
+                    stamps = dict(started)
+                if any(meta[f][1] in stamps for f in pending):
+                    last_progress = max(
+                        last_progress,
+                        max(stamps[meta[f][1]] for f in pending
+                            if meta[f][1] in stamps))
+                if runner.task_timeout is None:
+                    continue
+                for future in list(pending):
+                    _, key, app = meta[future]
+                    start = stamps.get(key)
+                    if start is not None \
+                            and now - start > runner.task_timeout:
+                        # a thread cannot be killed: abandon the
+                        # straggler (its writes stay atomic) and re-run
+                        # the task serially
+                        pending.discard(future)
+                        future.cancel()
+                        wait_on_exit = False
+                        runner._note_timeout(key, app)
+                if not wait_on_exit \
+                        and now - last_progress > runner.task_timeout:
+                    # every pool thread is wedged on an abandoned
+                    # straggler: hand the tasks that cannot even start
+                    # back instead of stalling the batch
+                    for future in list(pending):
+                        _, key, app = meta[future]
+                        if key not in stamps and future.cancel():
+                            pending.discard(future)
+                            runner._note_requeued(key, app)
+        finally:
+            pool.shutdown(wait=wait_on_exit, cancel_futures=True)
+        return [entry for entry in todo if entry[0] not in results]

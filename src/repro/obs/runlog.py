@@ -12,11 +12,19 @@ Record kinds (``kind`` field):
 
 * ``run`` — one simulation request: cache key, app, config name + digest,
   scale, seed, worker pid, cache disposition (``memory`` / ``disk`` /
-  ``simulated``), the hot-loop kernel used plus its memo replay/record
-  event counts (``simulated`` runs only), and the trace-load / simulate /
-  store timings in seconds.
-* ``retry`` — one failed task attempt that will be (or was) re-tried, with
-  the reason (``worker-died`` / ``timeout`` / ``memory`` / ``error``).
+  ``simulated``), the execution backend context that served it
+  (``serial`` parent / ``thread`` clone / ``process`` worker), the
+  hot-loop kernel used plus its memo replay/record event counts
+  (``simulated`` runs only), and the trace-load / simulate / store
+  timings in seconds.
+* ``retry`` — one task handed back for serial completion, with the reason
+  (``worker-died`` / ``timeout`` / ``memory`` / ``error`` — a failed
+  attempt that will be re-tried — or ``requeued``, a healthy task that
+  lost its executor to a sibling's pool break or a wedged queue).
+* ``backend-choice`` — ``REPRO_BACKEND=auto`` resolved to a concrete
+  backend: the pick, the usable CPU count, the calibration-probe
+  measurements (interpreter spin score, worker-process round-trip
+  seconds) and the human-readable reason.
 * ``corrupt`` — an on-disk artifact (``trace`` / ``result`` / ``manifest``)
   failed its integrity check and was quarantined: artifact kind, original
   filename, quarantine filename (None when the move failed), and the cache

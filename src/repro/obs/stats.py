@@ -2,11 +2,13 @@
 
 Backs the ``repro stats`` CLI subcommand: reads the records written by
 :mod:`repro.obs.runlog`, and reduces them to per-app throughput, cache hit
-rates, retry counts, detected cache corruptions (per artifact kind),
-permanently failed tasks and the mid-simulation resilience activity —
-checkpoints written, resumes (with generation fallbacks) and
-stalled-worker kills — as a human-readable table plus a machine-readable
-summary dict (``--json``). Every quarantine event the harness performs is
+rates, retry counts (requeued tasks broken out), the execution backends
+that served the simulated runs (the per-app ``backend`` column plus the
+``backends —`` summary line, with ``auto``'s resolved picks), detected
+cache corruptions (per artifact kind), permanently failed tasks and the
+mid-simulation resilience activity — checkpoints written, resumes (with
+generation fallbacks) and stalled-worker kills — as a human-readable
+table plus a machine-readable summary dict (``--json``). Every quarantine event the harness performs is
 a ``corrupt`` record, so this report is the audit trail of how much
 on-disk state had to be regenerated.
 """
@@ -18,9 +20,10 @@ _HIT_DISPOSITIONS = ("memory", "disk")
 
 def _fresh_app_bucket() -> dict:
     return {"runs": 0, "simulated": 0, "cache_hits": 0, "retries": 0,
-            "corruptions": 0, "failures": 0,
+            "requeued": 0, "corruptions": 0, "failures": 0,
             "checkpoints": 0, "resumes": 0,
-            "kernels": {}, "memo_replayed": 0, "memo_recorded": 0,
+            "kernels": {}, "backends": {},
+            "memo_replayed": 0, "memo_recorded": 0,
             "trace_load_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
 
 
@@ -30,23 +33,29 @@ def summarize(records) -> dict:
     Returns a JSON-serialisable dict::
 
         {"runs": int, "simulated": int, "cache_hits": int,
-         "cache_hit_rate": float, "retries": int,
+         "cache_hit_rate": float, "retries": int, "requeued": int,
          "corruptions": int, "corrupt_by_artifact": {artifact: int},
-         "task_failures": int,
+         "task_failures": int, "backends": {backend: int},
+         "backend_choices": {backend: int},
          "checkpoints": int, "resumes": int, "resume_fallbacks": int,
          "stalled_kills": int,
          "simulate_s": float, "apps": {app: {...per-app...}}}
 
     Per-app buckets carry run/hit/retry/corruption/failure counts, the
+    execution backends that served the simulated runs, the
     checkpoint/resume counts, the summed trace-load / simulate / store
     seconds, the mean simulation time and the simulation throughput
-    (simulated runs per second of simulate time).
+    (simulated runs per second of simulate time). ``requeued`` counts
+    the retry records whose reason was ``requeued`` — healthy tasks that
+    lost their executor, a subset of ``retries``; ``backend_choices``
+    tallies what ``REPRO_BACKEND=auto`` resolved to.
     """
     apps: dict[str, dict] = {}
-    runs = simulated = cache_hits = retries = 0
+    runs = simulated = cache_hits = retries = requeued = 0
     corruptions = task_failures = 0
     checkpoints = resumes = resume_fallbacks = stalled_kills = 0
     corrupt_by_artifact: dict[str, int] = {}
+    backend_choices: dict[str, int] = {}
     for record in records:
         kind = record.get("kind")
         app = record.get("app", "?")
@@ -66,6 +75,11 @@ def summarize(records) -> dict:
                 if kernel:
                     kernels = bucket["kernels"]
                     kernels[kernel] = kernels.get(kernel, 0) + 1
+                # likewise pre-backend logs have no "backend" field
+                backend = record.get("backend")
+                if backend:
+                    backends = bucket["backends"]
+                    backends[backend] = backends.get(backend, 0) + 1
                 for field in ("memo_replayed", "memo_recorded"):
                     value = record.get(field)
                     if isinstance(value, int):
@@ -76,7 +90,14 @@ def summarize(records) -> dict:
                     bucket[field] += value
         elif kind == "retry":
             retries += 1
-            apps.setdefault(app, _fresh_app_bucket())["retries"] += 1
+            bucket = apps.setdefault(app, _fresh_app_bucket())
+            bucket["retries"] += 1
+            if record.get("reason") == "requeued":
+                requeued += 1
+                bucket["requeued"] += 1
+        elif kind == "backend-choice":
+            backend = record.get("backend", "?")
+            backend_choices[backend] = backend_choices.get(backend, 0) + 1
         elif kind == "corrupt":
             corruptions += 1
             artifact = record.get("artifact", "?")
@@ -112,9 +133,12 @@ def summarize(records) -> dict:
         bucket["memo_hit_rate"] = (bucket["memo_replayed"] / memo_events
                                    if memo_events else 0.0)
     kernels_total: dict[str, int] = {}
+    backends_total: dict[str, int] = {}
     for bucket in apps.values():
         for kernel, count in bucket["kernels"].items():
             kernels_total[kernel] = kernels_total.get(kernel, 0) + count
+        for backend, count in bucket["backends"].items():
+            backends_total[backend] = backends_total.get(backend, 0) + count
     memo_replayed = sum(b["memo_replayed"] for b in apps.values())
     memo_recorded = sum(b["memo_recorded"] for b in apps.values())
     memo_events = memo_replayed + memo_recorded
@@ -124,10 +148,14 @@ def summarize(records) -> dict:
         "cache_hits": cache_hits,
         "cache_hit_rate": cache_hits / runs if runs else 0.0,
         "retries": retries,
+        "requeued": requeued,
         "corruptions": corruptions,
         "corrupt_by_artifact": {a: corrupt_by_artifact[a]
                                 for a in sorted(corrupt_by_artifact)},
         "task_failures": task_failures,
+        "backends": {b: backends_total[b] for b in sorted(backends_total)},
+        "backend_choices": {b: backend_choices[b]
+                            for b in sorted(backend_choices)},
         "checkpoints": checkpoints,
         "resumes": resumes,
         "resume_fallbacks": resume_fallbacks,
@@ -142,6 +170,17 @@ def summarize(records) -> dict:
     }
 
 
+def _backend_cell(backends: dict) -> str:
+    """The ``backend`` column value for one backends histogram: the sole
+    backend that served the bucket, ``mixed`` when several did, ``-``
+    when nothing simulated (or the log predates backend stamping)."""
+    if not backends:
+        return "-"
+    if len(backends) == 1:
+        return next(iter(backends))
+    return "mixed"
+
+
 def format_table(summary: dict) -> str:
     """Render a :func:`summarize` dict as a fixed-width text table."""
     if not summary["runs"] and not summary["retries"] \
@@ -152,6 +191,7 @@ def format_table(summary: dict) -> str:
     lines = [
         f"{'app':<12} {'runs':>6} {'sim':>6} {'hits':>6} {'hit%':>6} "
         f"{'memo%':>6} {'sim s':>9} {'mean s':>8} {'sims/s':>8} "
+        f"{'backend':>7} "
         f"{'retry':>5} {'corr':>4} {'fail':>4} {'ckpt':>5} {'res':>4}"
     ]
     for app, b in summary["apps"].items():
@@ -160,7 +200,9 @@ def format_table(summary: dict) -> str:
             f"{b['cache_hits']:>6} {100 * b['hit_rate']:>5.1f}% "
             f"{100 * b.get('memo_hit_rate', 0.0):>5.1f}% "
             f"{b['simulate_s']:>9.3f} {b['mean_simulate_s']:>8.3f} "
-            f"{b['throughput_per_s']:>8.2f} {b['retries']:>5} "
+            f"{b['throughput_per_s']:>8.2f} "
+            f"{_backend_cell(b.get('backends', {})):>7} "
+            f"{b['retries']:>5} "
             f"{b.get('corruptions', 0):>4} {b.get('failures', 0):>4} "
             f"{b.get('checkpoints', 0):>5} {b.get('resumes', 0):>4}")
     lines.append(
@@ -169,6 +211,7 @@ def format_table(summary: dict) -> str:
         f"{100 * summary['cache_hit_rate']:>5.1f}% "
         f"{100 * summary.get('memo_hit_rate', 0.0):>5.1f}% "
         f"{summary['simulate_s']:>9.3f} {'':>8} {'':>8} "
+        f"{_backend_cell(summary.get('backends', {})):>7} "
         f"{summary['retries']:>5} {summary.get('corruptions', 0):>4} "
         f"{summary.get('task_failures', 0):>4} "
         f"{summary.get('checkpoints', 0):>5} "
@@ -182,14 +225,25 @@ def format_table(summary: dict) -> str:
                     f"{summary.get('memo_replayed', 0)}, recorded: "
                     f"{summary.get('memo_recorded', 0)}")
         lines.append(f"kernels — {detail}{memo}")
+    if summary.get("backends") or summary.get("backend_choices"):
+        parts = ", ".join(f"{backend}: {count}" for backend, count
+                          in summary.get("backends", {}).items())
+        picks = ""
+        if summary.get("backend_choices"):
+            picked = ", ".join(
+                f"{backend}: {count}" for backend, count
+                in summary["backend_choices"].items())
+            picks = f" — auto picked {picked}"
+        lines.append(f"backends — {parts or 'none recorded'}{picks}")
     if summary.get("corrupt_by_artifact"):
         detail = ", ".join(f"{artifact}: {count}" for artifact, count
                            in summary["corrupt_by_artifact"].items())
         lines.append(f"corrupt artifacts quarantined — {detail}")
     if summary.get("resumes") or summary.get("stalled_kills") \
-            or summary.get("resume_fallbacks"):
+            or summary.get("resume_fallbacks") or summary.get("requeued"):
         lines.append(
             f"resilience — resumes: {summary.get('resumes', 0)}, "
             f"generation fallbacks: {summary.get('resume_fallbacks', 0)}, "
-            f"stalled workers killed: {summary.get('stalled_kills', 0)}")
+            f"stalled workers killed: {summary.get('stalled_kills', 0)}, "
+            f"tasks requeued: {summary.get('requeued', 0)}")
     return "\n".join(lines)

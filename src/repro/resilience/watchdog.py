@@ -4,16 +4,23 @@ Three independent mechanisms keep a long campaign from being taken down
 by one sick worker or a starved machine:
 
 * **Heartbeats** (:class:`Heartbeat`) — each pool worker owns one file
-  under ``<cache>/heartbeats/`` whose mtime it advances (throttled) at
-  every event boundary. The file body records the worker pid, the
-  supervising parent pid, and the task being simulated.
+  under ``<cache>/heartbeats/`` that it rewrites atomically (throttled)
+  at every event boundary. The file body records the worker pid, the
+  supervising parent pid, the task being simulated, and a
+  ``time.monotonic()`` liveness stamp.
 * **Watchdog** (:class:`WorkerWatchdog`) — a daemon thread in the parent
-  sweeps the heartbeat directory; a file whose mtime is older than the
-  configured timeout marks a stalled worker, which is killed (SIGKILL)
-  so the process pool's broken-pool recovery re-runs the task — from its
-  newest checkpoint, not from scratch. Only heartbeats naming *this*
-  parent are ever acted on; other campaigns' files are left alone unless
-  they are ancient orphans.
+  sweeps the heartbeat directory; a beacon whose monotonic stamp is
+  older than the configured timeout marks a stalled worker, which is
+  killed (SIGKILL) so the process pool's broken-pool recovery re-runs
+  the task — from its newest checkpoint, not from scratch. Liveness is
+  judged monotonic-against-monotonic (parent and workers share one boot,
+  hence one monotonic clock), never against the wall clock, so an NTP
+  step can neither kill a healthy worker nor spare a stalled one; the
+  file mtime is consulted only for beacons written by older code and for
+  the wall-scale orphan sweep. Only heartbeats naming *this* parent are
+  ever acted on; other campaigns' files are left alone unless they are
+  ancient orphans (a judgement that must survive reboots, which is why
+  it alone stays on file mtime).
 * **Memory guard** (:func:`apply_memory_limit` / :func:`check_memory`) —
   a best-effort address-space rlimit in the worker plus a periodic
   peak-RSS check that raises :class:`MemoryPressure` at an event
@@ -104,24 +111,36 @@ class Heartbeat:
         self.key = key
         self.app = app
 
+    def _write(self, stamp: float) -> None:
+        """Atomically (re)write the beacon body — pid, supervising
+        parent, task, and the monotonic liveness stamp. Atomic so the
+        watchdog never reads a torn body and mistakes our beacon for a
+        foreign one."""
+        tmp = self.path.parent / (self.path.name + ".tmp")
+        tmp.write_text(json.dumps({
+            "pid": os.getpid(),
+            "parent": os.getppid(),
+            "key": self.key,
+            "app": self.app,
+            "beat_mono": stamp,
+        }))
+        os.replace(tmp, self.path)
+
     def start(self) -> None:
-        """Write the beacon file (pid, supervising parent, task)."""
+        """Write the beacon file."""
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self.path.write_text(json.dumps({
-                "pid": os.getpid(),
-                "parent": os.getppid(),
-                "key": self.key,
-                "app": self.app,
-            }))
+            now = time.monotonic()
+            self._write(now)
             self._started = True
-            self._last_beat = time.monotonic()
+            self._last_beat = now
         except OSError:
             self._started = False
 
     def beat(self) -> None:
-        """Advance the beacon mtime, throttled to ``interval`` so the hot
-        loop pays one clock read per event, not one write."""
+        """Advance the beacon's monotonic stamp, throttled to
+        ``interval`` so the hot loop pays one clock read per event, not
+        one write."""
         if not self._started:
             return
         now = time.monotonic()
@@ -129,7 +148,7 @@ class Heartbeat:
             return
         self._last_beat = now
         try:
-            os.utime(self.path)
+            self._write(now)
         except OSError:
             self._started = False
 
@@ -179,10 +198,18 @@ class WorkerWatchdog:
         while not self._stop.wait(poll):
             self.sweep()
 
-    def sweep(self, now: float | None = None) -> int:
-        """One pass over the heartbeat directory; returns workers killed."""
-        if now is None:
-            now = time.time()
+    def sweep(self) -> int:
+        """One pass over the heartbeat directory; returns workers killed.
+
+        Our own workers' staleness is judged on the beacon body's
+        monotonic stamp against ``time.monotonic()`` — same boot, same
+        clock, immune to NTP steps. Beacons without a stamp (written by
+        older code) fall back to file mtime against the wall clock.
+        Foreign beacons are aged on wall mtime only: an orphan judgement
+        must hold across reboots, where monotonic stamps mean nothing.
+        """
+        mono_now = time.monotonic()
+        wall_now = time.time()
         killed_here = 0
         try:
             beacons = list(self.dir.glob("hb-*.json"))
@@ -190,23 +217,29 @@ class WorkerWatchdog:
             return 0
         for path in beacons:
             try:
-                age = now - path.stat().st_mtime
+                wall_age = wall_now - path.stat().st_mtime
             except OSError:
                 continue  # raced with the worker's own cleanup
-            if age <= self.timeout:
-                continue
             try:
                 info = json.loads(path.read_text())
-            except (OSError, ValueError):
-                info = {}
+            except ValueError:
+                info = {}  # corrupt body: never ours (our writes are
+                #            atomic), but still orphan-sweepable
+            except OSError:
+                continue
             if info.get("parent") != os.getpid():
                 # not ours to kill — but sweep ancient orphans whose
                 # parent campaign is long gone
-                if age > max(self.timeout * 10.0, 60.0):
+                if wall_age > max(self.timeout * 10.0, 60.0):
                     try:
                         path.unlink()
                     except OSError:
                         pass
+                continue
+            stamp = info.get("beat_mono")
+            age = mono_now - stamp if isinstance(stamp, (int, float)) \
+                else wall_age
+            if age <= self.timeout:
                 continue
             pid = info.get("pid")
             killed = False

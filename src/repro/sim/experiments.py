@@ -12,13 +12,22 @@ The scale component of keys and trace filenames is normalised through
 ``repr(float(scale))`` so ``scale=1`` (int) and ``scale=1.0`` (float) of
 the same workload share one cache entry.
 
-Grids fan out over worker processes: ``REPRO_JOBS`` (or the ``jobs``
-constructor argument / ``--jobs`` CLI flag) sets the worker count, and
-:meth:`ExperimentRunner.run_many` distributes the missing (app, config)
-pairs over a :class:`~concurrent.futures.ProcessPoolExecutor`. Every
-simulation is a pure function of its key, so parallel results are
-bit-identical to serial ones; workers write the same on-disk caches
-atomically (write-to-temp + rename), making concurrent writers safe.
+Grids fan out through a pluggable execution backend
+(:mod:`repro.exec`): ``REPRO_BACKEND`` (or the ``backend`` constructor
+argument / ``--backend`` CLI flag) selects ``serial``, ``thread``,
+``process``, or ``auto`` — which measures the machine shape and picks
+one of the other three. When no backend is named, it derives from the
+worker count: ``REPRO_JOBS`` (or the ``jobs`` constructor argument /
+``--jobs`` CLI flag) above 1 means ``process``, the historical
+behaviour. :meth:`ExperimentRunner.run_many` hands the missing
+(app, config) pairs to the backend, which owns submission, per-task
+deadline accounting (measured from task *start*, so queue wait behind
+busy workers is never charged against ``REPRO_TASK_TIMEOUT``),
+straggler cancellation, and the hand-back of unfinished tasks to the
+serial retry ladder. Every simulation is a pure function of its key, so
+parallel results are bit-identical to serial ones; workers write the
+same on-disk caches atomically (write-to-temp + rename), making
+concurrent writers safe.
 Event traces are recorded once per (app, scale, seed) into the cache's
 ``traces/`` directory using the :mod:`repro.isa.tracefile` format, so
 workers deserialise instead of regenerating them.
@@ -93,6 +102,7 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Iterable
 
+from repro.exec import BACKEND_NAMES, auto_pick, make_backend
 from repro.isa.tracefile import VERSION as TRACE_VERSION
 from repro.isa.tracefile import LoadedTrace, dump_trace, load_trace
 from repro.obs.metrics import get_registry
@@ -112,6 +122,7 @@ _CACHE_ENV = "REPRO_CACHE_DIR"
 _SCALE_ENV = "REPRO_SCALE"
 _SEED_ENV = "REPRO_SEED"
 _JOBS_ENV = "REPRO_JOBS"
+_BACKEND_ENV = "REPRO_BACKEND"
 _TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
 _LOG_DIR_ENV = "REPRO_LOG_DIR"
 _MAX_ATTEMPTS_ENV = "REPRO_MAX_ATTEMPTS"
@@ -172,6 +183,26 @@ def default_seed() -> int:
 def default_jobs() -> int:
     """Worker-process count from ``REPRO_JOBS`` (default 1 = serial)."""
     return max(1, _env_or_default(_JOBS_ENV, 1, int))
+
+
+def _parse_backend_name(raw: str) -> str:
+    """Normalise and validate one backend name (raises ``ValueError`` on
+    anything outside :data:`repro.exec.BACKEND_NAMES`)."""
+    value = raw.strip().lower()
+    if value not in BACKEND_NAMES:
+        raise ValueError(f"unknown execution backend {value!r}; expected "
+                         f"one of {', '.join(BACKEND_NAMES)}")
+    return value
+
+
+def default_backend() -> str | None:
+    """Execution backend from ``REPRO_BACKEND`` (default None = derive
+    from the worker count: ``process`` when jobs > 1, else ``serial``).
+    Empty means unset — CI matrix legs export the variable as ``''``
+    on the legs that don't pin a backend."""
+    if not os.environ.get(_BACKEND_ENV, "").strip():
+        return None
+    return _env_or_default(_BACKEND_ENV, None, _parse_backend_name)
 
 
 def available_cpus() -> int:
@@ -298,6 +329,7 @@ def _run_remote(app: str, config: SimConfig, scale: float, seed: int,
                               mem_limit_mb=mem_limit_mb)
     runner.is_worker = True
     runner.worker_attempt = attempt
+    runner.backend_label = "process"
     if runner.mem_limit_mb:
         apply_memory_limit(runner.mem_limit_mb)
     heartbeat = None
@@ -319,6 +351,7 @@ class ExperimentRunner:
                  scale: float | None = None, seed: int | None = None,
                  use_disk_cache: bool = True,
                  jobs: int | str | None = None,
+                 backend: str | None = None,
                  task_timeout: float | None = None,
                  log_dir: Path | str | None = None,
                  max_attempts: int | None = None,
@@ -327,7 +360,10 @@ class ExperimentRunner:
                  heartbeat_timeout: float | None = None,
                  min_disk_mb: int | None = None,
                  mem_limit_mb: int | None = None) -> None:
-        """``task_timeout`` (or ``REPRO_TASK_TIMEOUT``) bounds each
+        """``backend`` (or ``REPRO_BACKEND``) names the execution
+        backend for grid batches — ``serial``, ``thread``, ``process``
+        or ``auto`` (see :mod:`repro.exec`); unset, it derives from the
+        worker count. ``task_timeout`` (or ``REPRO_TASK_TIMEOUT``) bounds each
         task attempt; ``max_attempts`` / ``retry_backoff`` (or
         ``REPRO_MAX_ATTEMPTS`` / ``REPRO_RETRY_BACKOFF``) shape the retry
         schedule before a task is marked failed; ``log_dir`` forces JSONL
@@ -366,6 +402,26 @@ class ExperimentRunner:
         else:
             self.jobs = default_jobs() if jobs is None \
                 else max(1, int(jobs))
+        #: whether the pool width was chosen by the user (constructor or
+        #: ``REPRO_JOBS``) — if not, parallel backends size themselves
+        #: to the usable CPUs instead of inheriting the serial default
+        self._jobs_explicit = jobs is not None \
+            or os.environ.get(_JOBS_ENV) is not None
+        if backend is not None:
+            self.backend_requested: str | None = \
+                _parse_backend_name(str(backend))
+        else:
+            self.backend_requested = default_backend()
+        #: the resolved backend name — None until a batch needed one
+        self.backend_name: str | None = None
+        #: the :class:`repro.exec.BackendChoice` recorded when ``auto``
+        #: resolved (None for explicit or derived backends)
+        self.backend_choice = None
+        self._backend_impl = None
+        #: execution context stamped on this runner's run records:
+        #: "serial" (parent / inline), "thread" (pool-thread clones),
+        #: "process" (worker processes)
+        self.backend_label = "serial"
         self.task_timeout = default_task_timeout() if task_timeout is None \
             else (task_timeout if task_timeout > 0 else None)
         self.max_attempts = default_max_attempts() if max_attempts is None \
@@ -489,7 +545,7 @@ class ExperimentRunner:
             return
         cutoff = time.time() - STALE_TMP_SECONDS
         for pattern in ("*.tmp", "traces/*.tmp", "manifests/*.tmp",
-                        "checkpoints/*.tmp"):
+                        "checkpoints/*.tmp", "heartbeats/*.tmp"):
             for tmp in self.cache_dir.glob(pattern):
                 try:
                     if tmp.stat().st_mtime < cutoff:
@@ -624,6 +680,7 @@ class ExperimentRunner:
             "app": app, "config": config.name,
             "config_digest": config.cache_key(), "scale": self.scale,
             "seed": self.seed, "pid": os.getpid(), "cache": cache,
+            "backend": self.backend_label,
             "kernel": kernel, "memo_replayed": memo_replayed,
             "memo_recorded": memo_recorded,
             "trace_load_s": round(trace_load_s, 6),
@@ -783,21 +840,152 @@ class ExperimentRunner:
             "app": app, "position": position, "fallbacks": fallbacks,
             "pid": os.getpid()})
 
+    # -- execution backends ----------------------------------------------------
+
+    def _pool_cls(self):
+        """The executor class for worker processes — resolved from the
+        module global at call time, so tests (and restricted platforms)
+        can swap it for the whole harness in one place."""
+        return ProcessPoolExecutor
+
+    def _remote_entry(self):
+        """The picklable worker-process entry point, late-bound from the
+        module global likewise."""
+        return _run_remote
+
+    def _fanout_workers(self, n_tasks: int) -> int:
+        """Pool width for a batch of ``n_tasks``: an explicit ``jobs``
+        (constructor or ``REPRO_JOBS``) wins; otherwise a parallel
+        backend sizes itself to the usable CPUs."""
+        base = self.jobs if self._jobs_explicit \
+            else max(self.jobs, available_cpus())
+        return max(1, min(base, n_tasks))
+
+    def _resolve_backend(self):
+        """The :class:`~repro.exec.ExecutionBackend` running this
+        runner's batches, resolved once — on the first batch that has
+        uncached work, so fully-cached campaigns never pay for (or are
+        perturbed by) a probe. ``auto`` is measured here and its choice,
+        with the machine inputs that drove it, is recorded."""
+        if self._backend_impl is None:
+            requested = self.backend_requested
+            if requested is None:
+                # historical behaviour: the worker count implies the
+                # backend — a pool when jobs > 1, in-process otherwise
+                requested = "process" if self.jobs > 1 else "serial"
+            name = requested
+            if requested == "auto":
+                choice = auto_pick(pool_cls=self._pool_cls())
+                self.backend_choice = choice
+                self._log_backend_choice(choice)
+                name = choice.backend
+            self._backend_impl = make_backend(name)
+            self.backend_name = name
+            self.metrics.inc(f"backend.selected.{name}")
+        return self._backend_impl
+
+    def _log_backend_choice(self, choice) -> None:
+        """Append one ``backend-choice`` record: what ``auto`` picked
+        and the machine measurements that drove it."""
+        self.metrics.inc(f"backend.auto.{choice.backend}")
+        if not self._runlog.enabled:
+            return
+        record = {"kind": "backend-choice", "ts": round(time.time(), 3),
+                  "pid": os.getpid()}
+        record.update(choice.to_record())
+        self._runlog.write(record)
+
+    def _thread_clone(self) -> "ExperimentRunner":
+        """A serial runner for one pool thread of the thread backend:
+        same caches, scale, seed and logging as the parent, but never a
+        pool of its own, no retry ladder (the parent owns attempt
+        accounting), and — critically — ``is_worker`` stays False, so
+        the worker-process hazards (memory rlimits, heartbeats, mid-sim
+        fault hooks that ``os._exit`` or stall their process) are never
+        armed inside the parent interpreter."""
+        clone = ExperimentRunner(
+            cache_dir=self.cache_dir, scale=self.scale, seed=self.seed,
+            use_disk_cache=self.use_disk_cache, jobs=1, backend="serial",
+            task_timeout=None, max_attempts=1, retry_backoff=0.0,
+            log_dir=self._runlog.log_dir if self._runlog.enabled else None,
+            checkpoint_events=self.checkpoint_events,
+            heartbeat_timeout=0.0, min_disk_mb=self.min_disk_mb,
+            mem_limit_mb=0)
+        clone.backend_label = "thread"
+        clone.cache_writes_enabled = self.cache_writes_enabled
+        return clone
+
+    # -- fan-out accounting (the backends call back into these) ----------------
+
+    def _note_timeout(self, key: str, app: str) -> None:
+        """One straggler exceeded ``task_timeout`` — measured from its
+        start, never from submission — and was abandoned; the caller
+        re-runs it serially."""
+        self.retries += 1
+        self.metrics.inc("runner.task_timeouts")
+        self._log_retry(key, app, "timeout")
+
+    def _note_pool_break(self, key: str, app: str, fresh: bool) -> None:
+        """A future failed because its pool broke. ``fresh`` marks the
+        first observation of the break — that one is the worker death;
+        the flood of sibling failures that follows is requeued work,
+        not further deaths."""
+        if fresh:
+            self.retries += 1
+            self.metrics.inc("runner.worker_deaths")
+            self._log_retry(key, app, "worker-died")
+        else:
+            self._note_requeued(key, app)
+
+    def _note_requeued(self, key: str, app: str) -> None:
+        """A task lost its executor through no fault of its own (pool
+        break survivor, queue wedged behind abandoned stragglers): it
+        completes serially instead."""
+        self.retries += 1
+        self.metrics.inc("runner.tasks_requeued")
+        self._log_retry(key, app, "requeued")
+
+    def _note_error(self, key: str, app: str) -> None:
+        """A task raised inside its worker — a genuine simulation error,
+        not an executor casualty. The backend hands it back so the serial
+        ladder, which owns the attempt budget, retries it and (if it
+        keeps failing) marks it failed instead of the one exception
+        crashing the whole batch."""
+        self.metrics.inc("runner.task_errors")
+        self._log_retry(key, app, "error")
+
+    def _note_memory_pressure(self, key: str, app: str) -> None:
+        """A worker hit its RSS ceiling and bailed at an event boundary;
+        the task finishes at serial fan-out where the whole memory
+        budget is its own."""
+        self.retries += 1
+        self.metrics.inc("runner.memory_pressure")
+        self._log_retry(key, app, "memory")
+
+    def _note_queue_wait(self, key: str, app: str,
+                         seconds: float) -> None:
+        """How long a task sat queued behind busy workers before it
+        started — observability only (``backend.queue_wait_s``), never
+        charged against the task's deadline."""
+        self.metrics.observe("backend.queue_wait_s", seconds)
+
     # -- parallel fan-out -----------------------------------------------------
 
     def run_many(self, pairs: Iterable[tuple[str, SimConfig]],
                  label: str | None = None) -> list[SimResult]:
-        """Run every (app, config) pair, fanning uncached ones over
-        ``self.jobs`` worker processes.
+        """Run every (app, config) pair, handing uncached ones to this
+        runner's execution backend (``REPRO_BACKEND`` / the ``backend``
+        constructor argument; derived from ``self.jobs`` when unset).
 
         Results come back in ``pairs`` order — always one per pair, even
-        when a worker process dies or times out mid-batch (its tasks are
+        when a worker dies or times out mid-batch (its tasks are
         completed serially in the parent, timeout-bounded, with retries
-        and exponential backoff) — and are bit-identical to serial runs:
-        each simulation is a pure function of its key, and workers share
-        the parent's on-disk caches via atomic writes. If the platform
-        cannot spawn worker processes (restricted sandboxes), the batch
-        silently degrades to serial execution.
+        and exponential backoff) — and are bit-identical across
+        backends: each simulation is a pure function of its key, and
+        workers (processes and thread clones alike) share the parent's
+        on-disk caches via atomic writes. If the platform cannot spawn
+        the backend's workers (restricted sandboxes), the batch silently
+        degrades to serial execution.
 
         The batch's tasks are recorded in a grid manifest under
         ``<cache>/manifests/`` whose statuses update atomically as tasks
@@ -846,20 +1034,20 @@ class ExperimentRunner:
         manifest = self._grid_manifest(unique, results, label)
         progress = ProgressLine(len(unique), label="sims")
         progress.advance(len(results), note="cached")
-        if todo and self.jobs > 1:
-            # record the traces before forking so workers load instead of
-            # each regenerating the same apps
+        missing = todo
+        if todo and self._resolve_backend().parallel:
+            backend = self._backend_impl
+            # record the traces before fanning out so workers load
+            # instead of each regenerating the same apps
             if self.use_disk_cache:
                 for app in {app for _, app, _ in todo}:
                     self.trace(app)
             if manifest is not None:
                 manifest.record_attempts([key for key, _, _ in todo])
-            missing = self._run_parallel(todo, results, progress)
+            missing = backend.run_batch(self, todo, results, progress)
             if manifest is not None:
                 manifest.mark_many(
                     [key for key, _, _ in todo if key in results], "done")
-        else:
-            missing = todo
         plan = get_fault_plan()
         failures: list[tuple[str, str, str]] = []
         try:
@@ -991,70 +1179,6 @@ class ExperimentRunner:
         finally:
             pool.shutdown(wait=wait_on_exit, cancel_futures=True)
 
-    def _run_parallel(self, todo: list[tuple[str, str, SimConfig]],
-                      results: dict[str, SimResult],
-                      progress: ProgressLine
-                      ) -> list[tuple[str, str, SimConfig]]:
-        """Execute ``todo`` on a process pool, filling ``results``.
-
-        Returns the entries that did not complete — worker deaths
-        (:class:`BrokenProcessPool`) and per-task timeouts lose only the
-        affected tasks, which the caller re-runs serially. Pool-creation
-        failure returns everything for the serial path. Simulation errors
-        raised inside a worker are not swallowed — they propagate.
-        """
-        try:
-            pool = ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(todo)))
-        except (OSError, PermissionError, ValueError):
-            return list(todo)
-        wait_on_exit = True
-        try:
-            worker_log_dir = str(self._runlog.log_dir) \
-                if self._runlog.enabled else None
-            futures = [
-                pool.submit(_run_remote, app, config, self.scale,
-                            self.seed, str(self.cache_dir),
-                            self.use_disk_cache, worker_log_dir,
-                            checkpoint_events=self.checkpoint_events,
-                            heartbeat_timeout=self.heartbeat_timeout,
-                            mem_limit_mb=self.mem_limit_mb)
-                for _, app, config in todo]
-            for (key, app, _), future in zip(todo, futures):
-                try:
-                    payload = future.result(timeout=self.task_timeout)
-                except BrokenProcessPool:
-                    # a worker died without raising (killed / OOM): every
-                    # task it took down is completed serially by the caller
-                    self.retries += 1
-                    self.metrics.inc("runner.worker_deaths")
-                    self._log_retry(key, app, "worker-died")
-                    continue
-                except FutureTimeoutError:
-                    # the straggler keeps its core; don't wait for it on
-                    # shutdown, and re-run its task serially
-                    wait_on_exit = False
-                    future.cancel()
-                    self.retries += 1
-                    self.metrics.inc("runner.task_timeouts")
-                    self._log_retry(key, app, "timeout")
-                    continue
-                except MemoryError:
-                    # the worker hit its RSS ceiling and bailed at an
-                    # event boundary (checkpoint intact); finish the task
-                    # at serial fan-out where the whole budget is its own
-                    self.retries += 1
-                    self.metrics.inc("runner.memory_pressure")
-                    self._log_retry(key, app, "memory")
-                    continue
-                result = SimResult.from_dict(payload)
-                self._memory[key] = result
-                results[key] = result
-                progress.advance(note=app)
-        finally:
-            pool.shutdown(wait=wait_on_exit, cancel_futures=True)
-        return [entry for entry in todo if entry[0] not in results]
-
     def grid(self, configs: Iterable[SimConfig],
              apps: Iterable[str] = APP_NAMES
              ) -> dict[str, dict[str, SimResult]]:
@@ -1090,7 +1214,8 @@ class ExperimentRunner:
             runner = ExperimentRunner(
                 cache_dir=self.cache_dir, scale=manifest.scale,
                 seed=manifest.seed, use_disk_cache=self.use_disk_cache,
-                jobs=self.jobs, task_timeout=self.task_timeout,
+                jobs=self.jobs, backend=self.backend_requested,
+                task_timeout=self.task_timeout,
                 max_attempts=self.max_attempts,
                 retry_backoff=self.retry_backoff)
         manifest.reset_failed()

@@ -390,9 +390,11 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
         python -m repro.sim.figures figure9 figure12
         python -m repro.sim.figures --json figure9
         python -m repro.sim.figures --jobs 4 figure9
+        python -m repro.sim.figures --backend auto figure9
 
     ``--jobs N`` (or ``REPRO_JOBS``) fans the underlying simulations over
-    N worker processes.
+    N workers; ``--backend`` (or ``REPRO_BACKEND``) picks the execution
+    backend that does the fanning (serial / thread / process / auto).
     """
     import json
     import sys
@@ -409,8 +411,17 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
         except (IndexError, ValueError):
             raise SystemExit("--jobs requires an integer argument")
         del args[at:at + 2]
+    backend = None
+    if "--backend" in args:
+        at = args.index("--backend")
+        try:
+            backend = args[at + 1]
+        except IndexError:
+            raise SystemExit("--backend requires an argument "
+                             "(serial / thread / process / auto)")
+        del args[at:at + 2]
     wanted = args or list(ALL_FIGURES)
-    runner = ExperimentRunner(jobs=jobs)
+    runner = ExperimentRunner(jobs=jobs, backend=backend)
     for name in wanted:
         figure = ALL_FIGURES[name](runner)
         if as_json:

@@ -52,6 +52,7 @@ while a checkpoint sink is armed (a checkpoint must capture live caches).
 from __future__ import annotations
 
 import os
+import threading
 import warnings
 from collections import OrderedDict
 from itertools import repeat as _repeat
@@ -112,11 +113,15 @@ class _Entry:
 class SegmentMemo:
     """Process-global (token → {pre-key → entry}) cache with LRU eviction
     over tokens. Per-process by design: tokens hash with the interpreter's
-    randomized hash, and workers re-record cheaply."""
+    randomized hash, and workers re-record cheaply. Mutations are guarded
+    by a lock so the thread execution backend (:mod:`repro.exec.thread`)
+    can share one memo across simulating threads — the compound
+    ``move_to_end`` / ``popitem`` sequences are not atomic on their own."""
 
     def __init__(self, capacity: int = 8192) -> None:
         self.capacity = capacity
         self._tokens: OrderedDict[int, dict] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -128,34 +133,38 @@ class SegmentMemo:
         A checksum mismatch — a poisoned entry — is dropped, counted, and
         reported as a miss so the caller re-records from live execution.
         """
-        by_pre = self._tokens.get(token)
-        entry = by_pre.get(pre) if by_pre is not None else None
-        if entry is not None and entry.checksum != entry.compute_checksum():
-            self.poisoned += 1
-            del by_pre[pre]
-            entry = None
-        if entry is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        self._tokens.move_to_end(token)
-        return entry
+        with self._lock:
+            by_pre = self._tokens.get(token)
+            entry = by_pre.get(pre) if by_pre is not None else None
+            if entry is not None \
+                    and entry.checksum != entry.compute_checksum():
+                self.poisoned += 1
+                del by_pre[pre]
+                entry = None
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._tokens.move_to_end(token)
+            return entry
 
     def store(self, token: int, entry: _Entry) -> None:
-        tokens = self._tokens
-        by_pre = tokens.get(token)
-        if by_pre is None:
-            by_pre = tokens[token] = {}
-        if entry.pre not in by_pre:
-            by_pre[entry.pre] = entry
-            self.stores += 1
-        tokens.move_to_end(token)
-        while len(tokens) > self.capacity:
-            tokens.popitem(last=False)
+        with self._lock:
+            tokens = self._tokens
+            by_pre = tokens.get(token)
+            if by_pre is None:
+                by_pre = tokens[token] = {}
+            if entry.pre not in by_pre:
+                by_pre[entry.pre] = entry
+                self.stores += 1
+            tokens.move_to_end(token)
+            while len(tokens) > self.capacity:
+                tokens.popitem(last=False)
 
     def clear(self) -> None:
-        self._tokens.clear()
-        self.hits = self.misses = self.stores = self.poisoned = 0
+        with self._lock:
+            self._tokens.clear()
+            self.hits = self.misses = self.stores = self.poisoned = 0
 
     def entry_for(self, token: int, pre: tuple) -> _Entry | None:
         """Unverified peek (tests use this to poison entries)."""

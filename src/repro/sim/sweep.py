@@ -12,6 +12,12 @@ in the benchmarks, the examples, or interactive use — are declarative:
             esp=dataclasses.replace(cfg.esp, prefetch_lead=lead)),
         values=[20, 190, 1500])
     table = sweep.run(runner, apps=("amazon", "bing"))
+
+Sweeps inherit the runner's execution backend: the whole (config × app)
+grid is submitted as one ``run_many`` batch, so whatever
+``ExperimentRunner(backend=...)`` (or ``REPRO_BACKEND``) resolved to —
+serial, thread pool, process pool, or the auto pick — fans the sweep out
+without any sweep-specific plumbing.
 """
 
 from __future__ import annotations

@@ -85,13 +85,40 @@ class TestCorruptionStorms:
         """Workers killed mid-grid (``os._exit``): the pool breaks, the
         parent completes the stragglers, results stay bit-identical."""
         _arm(monkeypatch, "kill_worker:0.5,seed:2")
+        # worker-kill faults only fire inside process-pool workers: pin
+        # the backend so an ambient REPRO_BACKEND can't defuse the storm
         chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
-                                 jobs=2, task_timeout=120.0,
+                                 jobs=2, backend="process",
+                                 task_timeout=120.0,
                                  max_attempts=6, retry_backoff=0.01)
         got = [r.to_dict() for r in chaos.run_many(_pairs())]
         assert got == clean_reference
         counters = recording_metrics.snapshot()["counters"]
         assert counters.get("runner.worker_deaths", 0) >= 1
+
+    def test_corruption_storm_thread_backend(self, tmp_path, monkeypatch,
+                                             clean_reference,
+                                             recording_metrics):
+        """Trace corruption + torn result writes with the grid fanned
+        over the thread backend: pool-thread clones detect, quarantine
+        and regenerate through the same atomic-write protocol, ending
+        bit-identical. (Kill faults stay out of this storm deliberately —
+        they ``os._exit`` the process they run in, which for a thread
+        clone would be the parent; the clones never arm them.)"""
+        _arm(monkeypatch, "corrupt_trace:0.5,torn_write:0.5,seed:13")
+        chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
+                                 jobs=2, backend="thread",
+                                 max_attempts=6, retry_backoff=0.01)
+        got = [r.to_dict() for r in chaos.run_many(_pairs())]
+        assert got == clean_reference
+        # a second pass over the battered cache is identical too
+        again = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
+                                 jobs=2, backend="thread")
+        assert [r.to_dict() for r in again.run_many(_pairs())] \
+            == clean_reference
+        counters = recording_metrics.snapshot()["counters"]
+        assert counters.get("faults.corrupt_trace", 0) \
+            + counters.get("faults.torn_write", 0) >= 1
 
     def test_combined_storm_parallel(self, tmp_path, monkeypatch,
                                      clean_reference):
@@ -99,7 +126,8 @@ class TestCorruptionStorms:
         _arm(monkeypatch,
              "corrupt_trace:0.4,torn_write:0.4,kill_worker:0.3,seed:3")
         chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
-                                 jobs=2, task_timeout=120.0,
+                                 jobs=2, backend="process",
+                                 task_timeout=120.0,
                                  max_attempts=6, retry_backoff=0.01)
         got = [r.to_dict() for r in chaos.run_many(_pairs())]
         assert got == clean_reference
@@ -118,7 +146,8 @@ class TestMidSimResilience:
         log_dir = tmp_path / "logs"
         _arm(monkeypatch, "kill_mid_sim:0.5,seed:3")
         chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
-                                 jobs=2, task_timeout=60.0,
+                                 jobs=2, backend="process",
+                                 task_timeout=60.0,
                                  max_attempts=6, retry_backoff=0.01,
                                  checkpoint_events=1, log_dir=log_dir)
         got = [r.to_dict() for r in chaos.run_many(_pairs())]
@@ -140,7 +169,8 @@ class TestMidSimResilience:
         recovery resumes their tasks from checkpoints, bit-identically."""
         _arm(monkeypatch, "stall_worker:0.4,seed:11")
         chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
-                                 jobs=2, task_timeout=60.0,
+                                 jobs=2, backend="process",
+                                 task_timeout=60.0,
                                  max_attempts=6, retry_backoff=0.01,
                                  checkpoint_events=1,
                                  heartbeat_timeout=1.5)
@@ -156,8 +186,11 @@ class TestMidSimResilience:
         the grid completes bit-identically."""
         monkeypatch.delenv("REPRO_FAULTS", raising=False)
         faults.set_fault_plan(faults.FaultPlan())
+        # the RSS ceiling is only armed in process-pool workers (thread
+        # clones share the parent's address space): pin the backend
         chaos = ExperimentRunner(cache_dir=tmp_path, scale=0.1, seed=0,
-                                 jobs=2, task_timeout=60.0,
+                                 jobs=2, backend="process",
+                                 task_timeout=60.0,
                                  max_attempts=6, retry_backoff=0.01,
                                  checkpoint_events=1, mem_limit_mb=1)
         got = [r.to_dict() for r in chaos.run_many(_pairs())]
@@ -175,8 +208,10 @@ class TestInterruptResume:
         interrupts = 0
         results = None
         for _ in range(40):  # the storm is finite: draws advance
+            # interrupts fire on the serial completion path: pin the
+            # backend so an ambient REPRO_BACKEND can't bypass them
             runner = ExperimentRunner(cache_dir=tmp_path, scale=0.1,
-                                      seed=0, jobs=1)
+                                      seed=0, jobs=1, backend="serial")
             try:
                 results = runner.run_many(_pairs(), label="chaos")
                 break

@@ -247,11 +247,28 @@ class TestHeartbeat:
 
 class TestWorkerWatchdog:
     def _beacon(self, tmp_path, pid, parent, age):
+        """A legacy beacon: no monotonic stamp in the body, so liveness
+        falls back to the file mtime (aged ``age`` seconds)."""
         path = tmp_path / "heartbeats" / f"hb-{pid}.json"
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(
             {"pid": pid, "parent": parent, "key": "k", "app": "bing"}))
         stamp = time.time() - age
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def _mono_beacon(self, tmp_path, pid, parent, mono_age,
+                     wall_age=0.0):
+        """A current-format beacon whose body's monotonic stamp is
+        ``mono_age`` seconds old while the file *mtime* is ``wall_age``
+        seconds old — the two disagree exactly when the wall clock has
+        stepped (NTP) between beats."""
+        path = tmp_path / "heartbeats" / f"hb-{pid}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(
+            {"pid": pid, "parent": parent, "key": "k", "app": "bing",
+             "beat_mono": time.monotonic() - mono_age}))
+        stamp = time.time() - wall_age
         os.utime(path, (stamp, stamp))
         return path
 
@@ -298,6 +315,60 @@ class TestWorkerWatchdog:
         os.utime(foreign, (stamp, stamp))
         assert dog.sweep() == 0
         assert not foreign.exists()  # ancient orphan: swept, never killed
+
+    def test_wall_clock_jump_spares_live_worker(self, tmp_path):
+        """An NTP step makes the beacon's mtime look an hour stale while
+        the worker is beating normally (fresh monotonic stamp): the
+        watchdog judges monotonic-against-monotonic and must not kill."""
+        proc = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            path = self._mono_beacon(tmp_path, proc.pid, os.getpid(),
+                                     mono_age=0.0, wall_age=3600.0)
+            dog = WorkerWatchdog(tmp_path, timeout=2.0)
+            assert dog.sweep() == 0
+            assert dog.kills == 0
+            assert path.exists()  # the healthy worker keeps its beacon
+            assert proc.poll() is None  # and its life
+        finally:
+            proc.kill()
+
+    def test_stale_monotonic_stamp_kills_despite_fresh_mtime(
+            self, tmp_path):
+        """The converse jump: a wall clock stepped *backwards* keeps the
+        mtime looking fresh forever, but the body's monotonic stamp says
+        the worker stopped beating long ago — it must still be killed."""
+        proc = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"])
+        try:
+            path = self._mono_beacon(tmp_path, proc.pid, os.getpid(),
+                                     mono_age=100.0, wall_age=0.0)
+            stalls = []
+            dog = WorkerWatchdog(tmp_path, timeout=2.0,
+                                 on_stall=stalls.append)
+            assert dog.sweep() == 1
+            assert not path.exists()
+            assert stalls[0]["pid"] == proc.pid
+            assert stalls[0]["age"] > 2.0
+            assert proc.wait(timeout=10) != 0
+        finally:
+            proc.kill()
+
+    def test_corrupt_foreign_body_swept_only_when_ancient(self, tmp_path):
+        """A beacon body that doesn't parse can't be one of ours (our
+        writes are atomic): it is treated as foreign — untouched while
+        recent, swept without a kill once ancient on the wall scale."""
+        path = tmp_path / "heartbeats" / "hb-99999.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"pid": 99999, "parent"')  # torn write
+        dog = WorkerWatchdog(tmp_path, timeout=2.0)
+        assert dog.sweep() == 0
+        assert path.exists()
+        stamp = time.time() - 3600
+        os.utime(path, (stamp, stamp))
+        assert dog.sweep() == 0
+        assert dog.kills == 0
+        assert not path.exists()
 
     def test_thread_start_stop(self, tmp_path):
         dog = WorkerWatchdog(tmp_path, timeout=0.2)

@@ -336,15 +336,22 @@ class TestWorkerRetryPath:
                             _poisoned_remote)
         monkeypatch.setenv("REPRO_POISON_FILE", str(poison))
         log_dir = tmp_path / "logs"
+        # the poisoned remote is a process-pool stand-in: pin the backend
+        # so an ambient REPRO_BACKEND can't reroute the batch around it
         runner = ExperimentRunner(cache_dir=tmp_path / "cache", scale=0.25,
-                                  seed=0, jobs=2, log_dir=log_dir)
+                                  seed=0, jobs=2, backend="process",
+                                  log_dir=log_dir)
         pairs = [("bing", presets.baseline()), ("pixlr", presets.baseline())]
         results = runner.run_many(pairs)
         assert [r.app for r in results] == ["bing", "pixlr"]
         assert runner.retries >= 1
         retries = [r for r in iter_records(log_dir) if r["kind"] == "retry"]
         assert retries
-        assert all(r["reason"] == "worker-died" for r in retries)
+        # one pool break is ONE worker death; any sibling task flooded
+        # with the same BrokenProcessPool is requeued, not a new corpse
+        reasons = [r["reason"] for r in retries]
+        assert reasons.count("worker-died") == 1
+        assert set(reasons) <= {"worker-died", "requeued"}
 
 
 def _poisoned_remote(app, config, scale, seed, cache_dir, use_disk_cache,

@@ -139,7 +139,7 @@ class TestFallback:
         monkeypatch.setattr("repro.sim.experiments.ProcessPoolExecutor",
                             broken_pool)
         runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
-                                  jobs=4)
+                                  jobs=4, backend="process")
         results = runner.run_many([("bing", presets.baseline())])
         reference = ExperimentRunner(
             cache_dir=tmp_path / "ref", scale=0.25, seed=0,
@@ -168,8 +168,11 @@ class TestFaultTolerance:
         order-preserving result list, computed serially in the parent."""
         monkeypatch.setattr("repro.sim.experiments._run_remote",
                             _always_dying_remote)
+        # the dying remote is a process-pool stand-in: pin the backend so
+        # an ambient REPRO_BACKEND (the CI backend legs) can't reroute
+        # the batch around it
         runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
-                                  jobs=2)
+                                  jobs=2, backend="process")
         baseline = presets.baseline()
         pairs = [("bing", baseline), ("pixlr", baseline),
                  ("bing", presets.nl())]
@@ -190,7 +193,8 @@ class TestFaultTolerance:
         monkeypatch.setattr("repro.sim.experiments._run_remote",
                             _slow_remote)
         runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
-                                  jobs=2, task_timeout=0.2,
+                                  jobs=2, backend="process",
+                                  task_timeout=0.2,
                                   max_attempts=2, retry_backoff=0.01)
         with pytest.raises(GridTaskError) as info:
             runner.run_many([("bing", presets.baseline())])
@@ -212,9 +216,11 @@ class TestFaultTolerance:
         one task burns its whole attempt budget."""
         monkeypatch.setattr("repro.sim.experiments._run_remote",
                             _flaky_remote)
+        # backend="serial" pins the serial retry ladder (the subject of
+        # this test) even under an ambient REPRO_BACKEND
         runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
-                                  jobs=1, task_timeout=0.3,
-                                  max_attempts=1)
+                                  jobs=1, backend="serial",
+                                  task_timeout=0.3, max_attempts=1)
         baseline = presets.baseline()
         with pytest.raises(GridTaskError):
             runner.run_many([("bing", baseline), ("pixlr", baseline)])

@@ -375,7 +375,9 @@ class TestRunnerResume:
                      _runner(tmp_path / "ref").run_many(pairs)]
 
         set_fault_plan(FaultPlan({"interrupt": 1.0}, seed=0))
-        runner = _runner(tmp_path)
+        # interrupts fire on the serial completion path: pin the backend
+        # so an ambient REPRO_BACKEND can't bypass them
+        runner = _runner(tmp_path, backend="serial")
         with pytest.raises(KeyboardInterrupt):
             runner.run_many(pairs, label="resumable")
         set_fault_plan(FaultPlan())  # clear the injected interrupts
