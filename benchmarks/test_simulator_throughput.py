@@ -7,11 +7,13 @@ exist (``repro.sim.simulator``): the object path over
 segment-batch kernel with whole-event memoization
 (``repro.sim.kernel``). The benchmarks time all three;
 ``test_record_throughput_snapshot`` writes the measured speedups to
-``output/BENCH_throughput.json`` for the record (schema v3: wall
+``output/BENCH_throughput.json`` for the record (schema v4: wall
 seconds, Minstr/s and the selected kernel per path, plus one grid row
-per execution backend — serial / thread / process / auto with its
-resolved pick — so the recorded numbers say how each fan-out strategy
-actually performed on the recording machine).
+per execution backend — serial / thread / process / remote / auto with
+its resolved pick — so the recorded numbers say how each fan-out
+strategy actually performed on the recording machine; the remote row
+runs self-hosted localhost workers, so it prices the socket protocol
+and subprocess spin-up, not real network latency).
 
 Timing discipline: every path is measured best-of-N over *fresh*
 simulators. For the vector kernel the first rep records into the segment
@@ -39,10 +41,10 @@ from repro.workloads import EventTrace, get_app
 
 _OUTPUT_DIR = Path(__file__).parent / "output"
 
-#: snapshot layout: 3 adds the per-execution-backend grid rows (and 2
-#: added per-path Minstr/s, per-row kernel names, the vector rows and
-#: the auto-jobs grid row)
-SNAPSHOT_SCHEMA_VERSION = 3
+#: snapshot layout: 4 adds the remote-backend grid row (3 added the
+#: per-execution-backend grid rows; 2 added per-path Minstr/s, per-row
+#: kernel names, the vector rows and the auto-jobs grid row)
+SNAPSHOT_SCHEMA_VERSION = 4
 
 
 def _prewarmed_trace(scale: float = 1.0) -> EventTrace:
@@ -157,7 +159,7 @@ def _time_path(trace, config, reps: int, **sim_kwargs) -> dict:
 
 def test_record_throughput_snapshot(tmp_path_factory):
     """Measure object/packed/vector and serial-vs-parallel speedups and
-    write them to ``output/BENCH_throughput.json`` (schema v2)."""
+    write them to ``output/BENCH_throughput.json`` (schema v4)."""
     trace = _prewarmed_trace()
     snapshot: dict = {
         "schema_version": SNAPSHOT_SCHEMA_VERSION,
@@ -223,7 +225,7 @@ def test_record_throughput_snapshot(tmp_path_factory):
     # one row per execution backend, same 2x2 grid: the honest per-
     # strategy cost on this machine, with what `auto` resolved to
     backends = {}
-    for name in ("serial", "thread", "process", "auto"):
+    for name in ("serial", "thread", "process", "remote", "auto"):
         cache = tmp_path_factory.mktemp(f"snapshot-backend-{name}")
         runner = ExperimentRunner(cache_dir=cache, scale=0.25, seed=0,
                                   jobs=2, backend=name)
@@ -249,4 +251,5 @@ def test_record_throughput_snapshot(tmp_path_factory):
         assert entry["vector_speedup_vs_object"] > 0
     for name, row in backends.items():
         assert row["wall_s"] > 0
-        assert row["resolved"] in ("serial", "thread", "process"), row
+        assert row["resolved"] in ("serial", "thread", "process",
+                                   "remote"), row

@@ -4,14 +4,18 @@
 :class:`~repro.exec.base.ExecutionBackend`, selected by the
 ``REPRO_BACKEND`` environment variable (or the ``backend`` constructor
 argument / ``--backend`` CLI flag): ``serial``, ``thread``, ``process``,
-or ``auto`` — which measures the machine shape (:mod:`repro.exec.auto`)
-and resolves to one of the other three. See :mod:`repro.exec.base` for
-the interface contract and the per-backend rationale.
+``remote`` (a TCP coordinator feeding ``repro worker`` processes under
+time-bounded leases — :mod:`repro.exec.remote`), or ``auto`` — which
+measures the machine shape (:mod:`repro.exec.auto`) and resolves to one
+of the local three. See :mod:`repro.exec.base` for the interface
+contract and the per-backend rationale.
 """
 
 from repro.exec.auto import BackendChoice, auto_pick
-from repro.exec.base import BACKEND_NAMES, ExecutionBackend, SerialBackend
+from repro.exec.base import (BACKEND_NAMES, ExecutionBackend, SerialBackend,
+                             jittered_backoff)
 from repro.exec.process import ProcessBackend
+from repro.exec.remote import RemoteBackend
 from repro.exec.thread import ThreadBackend
 
 __all__ = [
@@ -19,9 +23,11 @@ __all__ = [
     "BackendChoice",
     "ExecutionBackend",
     "ProcessBackend",
+    "RemoteBackend",
     "SerialBackend",
     "ThreadBackend",
     "auto_pick",
+    "jittered_backoff",
     "make_backend",
 ]
 
@@ -29,6 +35,7 @@ _BACKENDS = {
     "serial": SerialBackend,
     "thread": ThreadBackend,
     "process": ProcessBackend,
+    "remote": RemoteBackend,
 }
 
 

@@ -12,10 +12,11 @@ made once per process (memoized) from:
   score (loop iterations per second, a coarse single-core throughput
   figure recorded for the runlog) and one worker-process round-trip — a
   no-op submitted to a fresh single-worker pool. Where processes cannot
-  be spawned, or the round-trip exceeds
-  :data:`ROUNDTRIP_CEILING_S` (gVisor-style sandboxes, overloaded CI
-  runners — fork costs would dwarf the tasks), the pick degrades to
-  ``thread``; otherwise ``process``.
+  be spawned, or the round-trip exceeds the probe ceiling —
+  :data:`ROUNDTRIP_CEILING_S`, overridable via ``REPRO_PROBE_TIMEOUT``
+  for loaded CI machines that fork slowly once but run tasks fine —
+  (gVisor-style sandboxes — fork costs would dwarf the tasks), the pick
+  degrades to ``thread``; otherwise ``process``.
 
 Every pick is returned as a :class:`BackendChoice` carrying its inputs,
 and the runner records it as a ``backend-choice`` runlog record, so a
@@ -24,8 +25,11 @@ recorded campaign states not just which backend ran it but *why*.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
+
+_PROBE_TIMEOUT_ENV = "REPRO_PROBE_TIMEOUT"
 
 #: total wall-clock budget for the calibration probe (seconds)
 PROBE_BUDGET_S = 0.1
@@ -34,13 +38,33 @@ PROBE_BUDGET_S = 0.1
 #: bounds the process round-trip
 SPIN_BUDGET_S = 0.02
 
-#: a worker-process no-op round-trip slower than this means fork/spawn
-#: overhead would dwarf typical grid tasks: pick threads instead
+#: default round-trip ceiling: a worker-process no-op round-trip slower
+#: than this means fork/spawn overhead would dwarf typical grid tasks,
+#: so the pick degrades to threads. ``REPRO_PROBE_TIMEOUT`` overrides it
+#: (seconds) — loaded CI machines fork slowly *once* while still running
+#: tasks fine, and without the override they misclassify as
+#: "slow workers => thread"
 ROUNDTRIP_CEILING_S = 1.0
 
-#: memoized picks per CPU count — machine shape does not change within a
-#: process, so one probe serves every runner (tests clear this)
+#: memoized picks per (CPU count, probe ceiling) — machine shape does
+#: not change within a process, so one probe serves every runner (tests
+#: clear this; the ceiling is in the key so a changed
+#: ``REPRO_PROBE_TIMEOUT`` re-probes instead of replaying a stale pick)
 _choice_cache: dict = {}
+
+
+def probe_ceiling_s() -> float:
+    """The round-trip ceiling: ``REPRO_PROBE_TIMEOUT`` seconds when set
+    and positive, else :data:`ROUNDTRIP_CEILING_S` (malformed values
+    degrade to the default, like every other harness knob)."""
+    raw = os.environ.get(_PROBE_TIMEOUT_ENV)
+    if raw is None or not raw.strip():
+        return ROUNDTRIP_CEILING_S
+    try:
+        value = float(raw)
+    except ValueError:
+        return ROUNDTRIP_CEILING_S
+    return value if value > 0 else ROUNDTRIP_CEILING_S
 
 
 @dataclass(frozen=True)
@@ -83,8 +107,9 @@ def _spin_score(budget_s: float = SPIN_BUDGET_S) -> float:
     return count / elapsed
 
 
-def _process_roundtrip(pool_cls,
-                       budget_s: float = PROBE_BUDGET_S) -> float | None:
+def _process_roundtrip(pool_cls, budget_s: float = PROBE_BUDGET_S,
+                       ceiling_s: float = ROUNDTRIP_CEILING_S
+                       ) -> float | None:
     """Wall seconds for one no-op worker round-trip on a fresh
     single-worker pool, or ``None`` when processes are unusable here
     (cannot spawn, or the probe itself fails)."""
@@ -98,7 +123,7 @@ def _process_roundtrip(pool_cls,
         # takes: a round-trip that blows far past it is itself the
         # signal, capped so the probe cannot hang the batch
         pool.submit(_probe_noop).result(
-            timeout=max(budget_s * 10, ROUNDTRIP_CEILING_S * 2))
+            timeout=max(budget_s * 10, ceiling_s * 2))
         return time.perf_counter() - start
     except Exception:  # noqa: BLE001 — any probe failure means "unusable"
         return None
@@ -112,13 +137,14 @@ def auto_pick(pool_cls=None, cpus: int | None = None) -> BackendChoice:
     ``pool_cls`` is the executor class the process backend would use
     (defaults to — and late-binds for the tests that monkeypatch it —
     ``repro.sim.experiments.ProcessPoolExecutor``); ``cpus`` overrides
-    the affinity-aware count. Memoized per CPU count.
+    the affinity-aware count. Memoized per (CPU count, probe ceiling).
     """
     from repro.sim import experiments  # runtime import: cycle guard
 
     if cpus is None:
         cpus = experiments.available_cpus()
-    cached = _choice_cache.get(cpus)
+    ceiling = probe_ceiling_s()
+    cached = _choice_cache.get((cpus, ceiling))
     if cached is not None:
         return cached
     if pool_cls is None:
@@ -131,22 +157,22 @@ def auto_pick(pool_cls=None, cpus: int | None = None) -> BackendChoice:
             "single usable CPU: any fan-out only adds overhead")
     else:
         spin = _spin_score()
-        roundtrip = _process_roundtrip(pool_cls)
+        roundtrip = _process_roundtrip(pool_cls, ceiling_s=ceiling)
         if roundtrip is None:
             choice = BackendChoice(
                 "thread", cpus, spin, None,
                 "worker processes unavailable: thread pool is the "
                 "widest fan-out that works here")
-        elif roundtrip > ROUNDTRIP_CEILING_S:
+        elif roundtrip > ceiling:
             choice = BackendChoice(
                 "thread", cpus, spin, roundtrip,
                 f"worker round-trip {roundtrip:.2f}s exceeds "
-                f"{ROUNDTRIP_CEILING_S:.1f}s: process start-up would "
+                f"{ceiling:.1f}s: process start-up would "
                 "dwarf the tasks")
         else:
             choice = BackendChoice(
                 "process", cpus, spin, roundtrip,
                 f"{cpus} usable CPUs and a {roundtrip * 1000:.0f}ms "
                 "worker round-trip: real parallelism pays")
-    _choice_cache[cpus] = choice
+    _choice_cache[(cpus, ceiling)] = choice
     return choice

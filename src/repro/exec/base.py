@@ -19,20 +19,26 @@ Four implementations exist:
   GIL-releasing compiled kernels.
 * ``process`` (:mod:`repro.exec.process`) — worker processes with the
   broken-pool / timeout / memory-pressure recovery ladder.
+* ``remote`` (:mod:`repro.exec.remote`) — a TCP coordinator handing
+  tasks to ``repro worker`` processes under time-bounded leases, with
+  work-stealing, at-most-once result commits and graceful degradation
+  to a local backend when every worker is gone.
 * ``auto`` (:mod:`repro.exec.auto`) — not a backend class but a picker:
-  measures the machine's shape and resolves to one of the other three.
+  measures the machine's shape and resolves to one of the local three
+  (never ``remote``: distributing work is an explicit choice).
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.obs.progress import ProgressLine
     from repro.sim.experiments import ExperimentRunner
 
-#: the valid ``REPRO_BACKEND`` values (``auto`` resolves to the others)
-BACKEND_NAMES = ("serial", "thread", "process", "auto")
+#: the valid ``REPRO_BACKEND`` values (``auto`` resolves to a local one)
+BACKEND_NAMES = ("serial", "thread", "process", "remote", "auto")
 
 #: how often the parallel backends poll pending futures for task starts
 #: and expired deadlines (seconds); small enough that a deadline is
@@ -41,6 +47,31 @@ DEADLINE_POLL_S = 0.05
 
 #: the pending-future wait chunk when no deadline needs enforcing
 IDLE_POLL_S = 0.25
+
+
+def jittered_backoff(base: float, attempt: int, token: str,
+                     cap: float = 30.0) -> float:
+    """Full-jitter exponential backoff: a delay drawn uniformly from
+    ``[0, min(base * 2**(attempt-2), cap))``.
+
+    Simultaneous retries (grid tasks re-armed after a pool break, remote
+    workers reconnecting after a coordinator restart) must not thundering-
+    herd the coordinator or the filesystem cache, so the classic
+    deterministic doubling becomes the *ceiling* and the actual delay is
+    a uniform draw under it — AWS-style "full jitter". The draw is a pure
+    function of ``(token, attempt)`` (no process RNG, no wall clock), so
+    a replayed campaign schedules its retries identically.
+
+    ``attempt`` follows the runner's attempt numbering: the first retry
+    is attempt 2 and gets a ceiling of ``base``; each further attempt
+    doubles it up to ``cap``. A non-positive ``base`` disables backoff.
+    """
+    if base <= 0.0:
+        return 0.0
+    ceiling = min(base * 2 ** max(0, attempt - 2), cap)
+    digest = hashlib.sha256(f"backoff|{token}|{attempt}".encode()).digest()
+    fraction = int.from_bytes(digest[:8], "big") / 2 ** 64
+    return ceiling * fraction
 
 
 class ExecutionBackend:

@@ -1,0 +1,969 @@
+"""Remote execution backend: TCP coordinator + lease-based work-stealing.
+
+``REPRO_BACKEND=remote`` turns one ``run_many`` batch into a small
+distributed campaign. The parent binds a coordinator socket (the
+``REPRO_COORD`` address, or an ephemeral localhost port when unset) and
+``repro worker`` processes — on this machine or any host that can reach
+the coordinator — connect, pull tasks, and stream results back. The
+design assumes the network is *unreliable* and degrades instead of
+wedging:
+
+* **Length-prefixed JSON protocol.** Every message is a 4-byte big-endian
+  length followed by one UTF-8 JSON object; a torn or truncated frame
+  reads as a disconnect, never as a garbled message.
+* **Time-bounded leases.** A task is handed out under a lease of
+  ``REPRO_LEASE_S`` seconds, renewed by worker heartbeats and judged
+  monotonic-against-monotonic (the same discipline as the §9 watchdog —
+  NTP steps neither expire healthy leases nor spare dead ones, both
+  stamps coming from the coordinator's own clock). A lease whose
+  heartbeats stop is **stolen**: the task is requeued to a live worker,
+  counted (``remote.steals``) and logged (``steal`` records). A worker
+  disconnect steals its leases immediately.
+* **At-most-once commits.** Results arrive digest-tagged; the first
+  verified result for a key is committed through the runner's digest-
+  enveloped result cache and every later delivery of the same key is a
+  no-op (``remote.dup_results``) — the legitimate outcome of a steal
+  whose original worker survived. A *mismatched* digest (a worker
+  returning different bytes for the same pure task) is quarantined, not
+  committed.
+* **Capped full-jitter reconnects.** Workers reconnect with exponential
+  backoff and full jitter (:func:`repro.exec.base.jittered_backoff`,
+  seeded from the worker token) so a restarted coordinator is not
+  thundering-herded by its own fleet. A coordinator's ``shutdown`` at
+  batch end sends a parked ``repro worker`` back to this connect loop —
+  one long-lived pair can serve every batch a campaign binds on the
+  address — while ``--exit-on-disconnect`` workers (the self-hosted
+  kind) terminate instead.
+* **Graceful degradation.** No workers within ``REPRO_REMOTE_WAIT``
+  seconds — at batch start or after losing the whole fleet mid-batch —
+  and the remaining tasks fall back to the machine-measured local
+  backend (:func:`repro.exec.auto.auto_pick`) instead of failing the
+  campaign. A coordinator that cannot even bind degrades the same way.
+  Tasks a worker *errored* on are handed to the runner's serial retry
+  ladder, which owns the attempt budget, exactly as on every other
+  backend.
+
+With no ``REPRO_COORD`` set the backend **self-hosts**: it binds an
+ephemeral localhost port and spawns its own ``repro worker``
+subprocesses for the batch, so ``REPRO_BACKEND=remote`` works with zero
+setup while still exercising the full socket path. The deterministic
+fault plan (:mod:`repro.resilience.faults`) injects the network's
+failure modes — ``drop_conn``, ``slow_socket``, ``dup_result``,
+``stale_lease`` — through these same code paths for the chaos suite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.exec.base import (DEADLINE_POLL_S, ExecutionBackend,
+                             jittered_backoff)
+from repro.obs.metrics import get_registry
+from repro.resilience import config_from_dict, config_to_dict
+from repro.resilience.faults import get_fault_plan
+from repro.resilience.integrity import canonical_json, payload_digest
+from repro.sim.results import SimResult
+
+_COORD_ENV = "REPRO_COORD"
+_LEASE_ENV = "REPRO_LEASE_S"
+_WAIT_ENV = "REPRO_REMOTE_WAIT"
+
+#: default lease duration (seconds) — heartbeats renew well inside it
+DEFAULT_LEASE_S = 10.0
+
+#: default wait for a first worker (or a fleet rebuild) before degrading
+DEFAULT_WAIT_S = 10.0
+
+#: how long an idle worker sleeps between task requests
+WORKER_IDLE_POLL_S = 0.2
+
+#: worker reconnect backoff: base delay and jitter ceiling (seconds)
+RECONNECT_BASE_S = 0.05
+RECONNECT_CAP_S = 2.0
+
+#: a task stolen this many times stops being requeued and is handed to
+#: the serial retry ladder instead — steals must converge, not ping-pong
+MAX_STEALS_PER_TASK = 5
+
+#: frames above this size are treated as a protocol violation (a result
+#: payload is a few KB; this is corruption/abuse, not data)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+def _env_float(name: str, default: float) -> float:
+    """A positive float env knob with the harness's usual degrade-don't-
+    crash behaviour (malformed or non-positive values fall back)."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+def default_lease_s() -> float:
+    """Lease duration from ``REPRO_LEASE_S`` (default 10s)."""
+    return _env_float(_LEASE_ENV, DEFAULT_LEASE_S)
+
+
+def default_wait_s() -> float:
+    """Worker-wait budget from ``REPRO_REMOTE_WAIT`` (default 10s)."""
+    return _env_float(_WAIT_ENV, DEFAULT_WAIT_S)
+
+
+def parse_addr(spec: str) -> tuple[str, int]:
+    """Parse ``host:port`` (bare ``:port`` and ``port`` mean localhost).
+
+    Raises ``ValueError`` on anything that cannot name a TCP endpoint.
+    """
+    spec = (spec or "").strip()
+    if not spec:
+        raise ValueError("empty coordinator address")
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "", spec
+    host = host.strip() or "127.0.0.1"
+    return host, int(port)
+
+
+# -- framing -------------------------------------------------------------------
+
+def send_msg(sock: socket.socket, message: dict,
+             lock: threading.Lock | None = None) -> None:
+    """Send one length-prefixed JSON frame (atomic under ``lock`` so a
+    heartbeat thread and the task loop never interleave bytes)."""
+    body = json.dumps(message, separators=(",", ":")).encode()
+    frame = _HEADER.pack(len(body)) + body
+    if lock is not None:
+        with lock:
+            sock.sendall(frame)
+    else:
+        sock.sendall(frame)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None  # EOF mid-frame: a disconnect, not a message
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_msg(sock: socket.socket) -> dict | None:
+    """Receive one frame; ``None`` means the peer is gone (EOF, reset,
+    torn frame, or a frame that is not a JSON object)."""
+    try:
+        header = _recv_exact(sock, _HEADER.size)
+        if header is None:
+            return None
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            return None
+        body = _recv_exact(sock, length)
+        if body is None:
+            return None
+        message = json.loads(body)
+    except (OSError, ValueError):
+        return None
+    return message if isinstance(message, dict) else None
+
+
+# -- coordinator ---------------------------------------------------------------
+
+class _Lease:
+    """One outstanding task grant: who holds it and until when."""
+
+    __slots__ = ("worker", "key", "app", "attempt", "start", "deadline")
+
+    def __init__(self, worker: int, key: str, app: str, attempt: int,
+                 now: float, lease_s: float) -> None:
+        self.worker = worker
+        self.key = key
+        self.app = app
+        self.attempt = attempt
+        self.start = now
+        self.deadline = now + lease_s
+
+
+class _Coordinator:
+    """The parent-side server for one batch: queue, leases, commits.
+
+    All state is guarded by one lock; connection handler threads mutate
+    it through the message handlers, and the batch thread drives
+    :meth:`sweep` / :meth:`finished` / :meth:`should_degrade`.
+    """
+
+    def __init__(self, runner, todo, results, progress,
+                 lease_s: float, wait_s: float) -> None:
+        self.runner = runner
+        self.results = results
+        self.progress = progress
+        self.lease_s = lease_s
+        self.wait_s = wait_s
+        self.metrics = get_registry()
+        self._lock = threading.Lock()
+        self._tasks = {key: (index, key, app, config)
+                       for index, (key, app, config) in enumerate(todo)}
+        self._queue: deque[str] = deque(key for key, _, _ in todo)
+        self._attempts: dict[str, int] = {}
+        self._steals: dict[str, int] = {}
+        self._leases: dict[str, _Lease] = {}  # task_id -> lease
+        self._committed: dict[str, str] = {}  # key -> payload digest
+        self._handed_back: set[str] = set()
+        self._workers: dict[int, socket.socket] = {}
+        self._next_worker_id = 1
+        self._started = time.monotonic()
+        self._last_worker = None  # monotonic stamp of last live worker
+        self._ever_had_worker = False
+        self._closing = False
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+        self.addr: tuple[str, int] | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, host: str, port: int) -> tuple[str, int]:
+        """Bind, listen, and start accepting workers; returns the bound
+        address (the real port when ``port`` was 0)."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((host, port))
+            listener.listen(32)
+        except OSError:
+            listener.close()
+            raise
+        self._listener = listener
+        self.addr = listener.getsockname()[:2]
+        thread = threading.Thread(target=self._accept_loop,
+                                  name="repro-coord-accept", daemon=True)
+        thread.start()
+        self._threads.append(thread)
+        return self.addr
+
+    def close(self) -> None:
+        """Stop accepting, drop every worker connection, join handlers."""
+        with self._lock:
+            self._closing = True
+            workers = list(self._workers.values())
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        for conn in workers:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: batch over
+            with self._lock:
+                if self._closing:
+                    conn.close()
+                    return
+            thread = threading.Thread(
+                target=self._serve_worker, args=(conn, addr),
+                name="repro-coord-conn", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    # -- per-connection handler ------------------------------------------------
+
+    def _serve_worker(self, conn: socket.socket, addr) -> None:
+        worker_id = None
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        try:
+            hello = recv_msg(conn)
+            if not hello or hello.get("type") != "hello":
+                return
+            with self._lock:
+                if self._closing:
+                    return
+                worker_id = self._next_worker_id
+                self._next_worker_id += 1
+                self._workers[worker_id] = conn
+                self._last_worker = time.monotonic()
+                self._ever_had_worker = True
+            self.metrics.inc("remote.workers_joined")
+            self.runner._note_worker_join(worker_id, hello, addr)
+            send_msg(conn, {"type": "welcome", "worker": worker_id,
+                            "lease_s": self.lease_s,
+                            "poll_s": WORKER_IDLE_POLL_S})
+            while True:
+                message = recv_msg(conn)
+                if message is None:
+                    return
+                kind = message.get("type")
+                if kind == "request":
+                    send_msg(conn, self._grant(worker_id))
+                elif kind == "heartbeat":
+                    self._renew(worker_id, message.get("task_id"))
+                elif kind == "result":
+                    committed = self._commit(worker_id, message)
+                    send_msg(conn, {"type": "ack",
+                                    "committed": committed})
+                elif kind == "error":
+                    self._task_errored(worker_id, message)
+                    send_msg(conn, {"type": "ack", "committed": False})
+                elif kind == "goodbye":
+                    return
+        except OSError:
+            pass  # the socket died mid-exchange: treated as a leave
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            if worker_id is not None:
+                self._worker_left(worker_id)
+
+    # -- message handlers (state under the lock) -------------------------------
+
+    def _grant(self, worker_id: int) -> dict:
+        """The reply to one task request: a leased task, ``idle`` while
+        work is outstanding elsewhere, or ``shutdown`` once the batch is
+        settled."""
+        runner = self.runner
+        with self._lock:
+            while self._queue:
+                key = self._queue.popleft()
+                if key in self._committed or key in self._handed_back:
+                    continue  # settled while it sat requeued
+                index, _, app, config = self._tasks[key]
+                attempt = self._attempts.get(key, 0) + 1
+                self._attempts[key] = attempt
+                task_id = f"{key}#a{attempt}"
+                self._leases[task_id] = _Lease(
+                    worker_id, key, app, attempt, time.monotonic(),
+                    self.lease_s)
+                self.metrics.inc("remote.leases_granted")
+                log_dir = str(runner._runlog.log_dir) \
+                    if runner._runlog.enabled else None
+                return {
+                    "type": "task", "task_id": task_id, "key": key,
+                    "app": app, "config": config_to_dict(config),
+                    "attempt": attempt, "index": index,
+                    "scale": runner.scale, "seed": runner.seed,
+                    "cache_dir": str(runner.cache_dir),
+                    "use_disk_cache": runner.use_disk_cache,
+                    "log_dir": log_dir,
+                    "checkpoint_events": runner.checkpoint_events,
+                    "lease_s": self.lease_s,
+                }
+            done = self._finished_locked()
+        return {"type": "shutdown"} if done \
+            else {"type": "idle", "poll_s": WORKER_IDLE_POLL_S}
+
+    def _renew(self, worker_id: int, task_id) -> None:
+        with self._lock:
+            lease = self._leases.get(task_id)
+            if lease is not None and lease.worker == worker_id:
+                lease.deadline = time.monotonic() + self.lease_s
+
+    def _commit(self, worker_id: int, message: dict) -> bool:
+        """At-most-once result commit, verified by digest.
+
+        The first verified payload for a key wins; later deliveries —
+        steal survivors, injected duplicates — are no-ops. A payload
+        whose digest does not match its own body, or that disagrees with
+        an already-committed digest for the key, is quarantined (written
+        aside for inspection) and never committed.
+        """
+        key = message.get("key", "")
+        task_id = message.get("task_id")
+        payload = message.get("payload")
+        claimed = message.get("digest", "")
+        if not isinstance(payload, dict) or key not in self._tasks:
+            return False
+        actual = payload_digest(canonical_json(payload))
+        with self._lock:
+            # the result settles every outstanding lease on this key —
+            # including one held by a different worker after a steal
+            for tid in [tid for tid, lease in self._leases.items()
+                        if lease.key == key]:
+                if tid == task_id or key in self._committed \
+                        or actual == claimed:
+                    self._leases.pop(tid, None)
+            committed = self._committed.get(key)
+        app = self._tasks[key][2]
+        if actual != claimed:
+            self._quarantine_payload(key, payload,
+                                     f"frame digest {claimed!r} != "
+                                     f"computed {actual!r}")
+            return False
+        if committed is not None:
+            if committed != actual:
+                self._quarantine_payload(
+                    key, payload,
+                    f"duplicate disagrees with committed digest "
+                    f"{committed!r}")
+                return False
+            self.metrics.inc("remote.dup_results")
+            return False
+        try:
+            result = SimResult.from_dict(payload)
+        except (TypeError, ValueError, KeyError):
+            self._quarantine_payload(key, payload, "undeserialisable")
+            return False
+        runner = self.runner
+        with self._lock:
+            if key in self._committed:  # raced with a twin delivery
+                self.metrics.inc("remote.dup_results")
+                return False
+            self._committed[key] = actual
+            runner._memory[key] = result
+            self.results[key] = result
+        runner._store(key, result)
+        self.metrics.inc("remote.commits")
+        self.progress.advance(note=app)
+        return True
+
+    def _quarantine_payload(self, key: str, payload: dict,
+                            reason: str) -> None:
+        """Write a rejected remote payload into the quarantine directory
+        (never silently dropped) and account for it."""
+        self.metrics.inc("remote.digest_mismatch")
+        runner = self.runner
+        dest_name = None
+        try:
+            qdir = Path(runner.quarantine_dir)
+            qdir.mkdir(parents=True, exist_ok=True)
+            dest = qdir / (f"remote-{key}.{os.getpid()}-"
+                           f"{time.monotonic_ns()}.quarantined")
+            dest.write_text(json.dumps(
+                {"reason": reason, "payload": payload}, sort_keys=True))
+            dest_name = dest.name
+        except OSError:
+            pass
+        if runner._runlog.enabled:
+            runner._runlog.write({
+                "kind": "corrupt", "ts": round(time.time(), 3),
+                "artifact": "remote-result", "path": f"remote-{key}",
+                "quarantined": dest_name, "key": key,
+                "app": self._tasks[key][2], "pid": os.getpid()})
+
+    def _task_errored(self, worker_id: int, message: dict) -> None:
+        """A worker reported a genuine task exception: release the lease
+        and hand the task to the serial retry ladder (which owns the
+        attempt budget), exactly like the local backends do."""
+        key = message.get("key", "")
+        task_id = message.get("task_id")
+        with self._lock:
+            lease = self._leases.pop(task_id, None)
+            if key not in self._tasks or key in self._committed \
+                    or key in self._handed_back:
+                return
+            self._handed_back.add(key)
+        app = lease.app if lease is not None else self._tasks[key][2]
+        self.runner._note_error(key, app)
+
+    def _worker_left(self, worker_id: int) -> None:
+        with self._lock:
+            conn = self._workers.pop(worker_id, None)
+            if conn is None:
+                return
+            closing = self._closing
+            if self._workers:
+                self._last_worker = time.monotonic()
+            stolen = [tid for tid, lease in self._leases.items()
+                      if lease.worker == worker_id]
+        self.metrics.inc("remote.workers_left")
+        self.runner._note_worker_leave(
+            worker_id, "closing" if closing else "disconnect")
+        if not closing:
+            for task_id in stolen:
+                self._steal(task_id, reason="worker-left")
+
+    # -- lease stealing --------------------------------------------------------
+
+    def _steal(self, task_id: str, reason: str) -> None:
+        """Revoke one lease and requeue (or hand back) its task."""
+        runner = self.runner
+        now = time.monotonic()
+        with self._lock:
+            lease = self._leases.pop(task_id, None)
+            if lease is None:
+                return
+            key, app = lease.key, lease.app
+            if key in self._committed or key in self._handed_back:
+                return
+            age = now - lease.start
+            timed_out = runner.task_timeout is not None \
+                and age > runner.task_timeout
+            steals = self._steals.get(key, 0) + 1
+            self._steals[key] = steals
+            exhausted = steals > MAX_STEALS_PER_TASK
+            if not timed_out and not exhausted:
+                self._queue.append(key)
+        if timed_out:
+            # the lease outlived the per-task deadline: this is a hung
+            # task, not a sick worker — hand it to the serial ladder
+            with self._lock:
+                self._handed_back.add(key)
+            runner._note_timeout(key, app)
+            return
+        if exhausted:
+            with self._lock:
+                self._handed_back.add(key)
+            runner._note_requeued(key, app)
+            return
+        self.metrics.inc("remote.steals")
+        runner._note_steal(key, app, lease.worker, age, reason)
+
+    def sweep(self) -> None:
+        """Steal every expired lease (called from the batch loop)."""
+        now = time.monotonic()
+        with self._lock:
+            expired = [tid for tid, lease in self._leases.items()
+                       if now > lease.deadline]
+        for task_id in expired:
+            self._steal(task_id, reason="lease-expired")
+
+    # -- batch progress --------------------------------------------------------
+
+    def _finished_locked(self) -> bool:
+        return all(key in self._committed or key in self._handed_back
+                   for key in self._tasks)
+
+    def finished(self) -> bool:
+        with self._lock:
+            return self._finished_locked()
+
+    def should_degrade(self) -> bool:
+        """Whether the batch should fall back to a local backend: work
+        remains, no worker is connected, and none has been for the wait
+        budget (measured from batch start when none ever joined)."""
+        now = time.monotonic()
+        with self._lock:
+            if self._finished_locked() or self._workers:
+                return False
+            since = self._last_worker if self._ever_had_worker \
+                else self._started
+            return now - since > self.wait_s
+
+    def run(self) -> bool:
+        """Drive the batch: sweep leases until every task settles or the
+        fleet is gone. Returns True when the batch must degrade."""
+        while True:
+            if self.finished():
+                return False
+            if self.should_degrade():
+                return True
+            self.sweep()
+            time.sleep(DEADLINE_POLL_S)
+
+
+# -- the backend ---------------------------------------------------------------
+
+class RemoteBackend(ExecutionBackend):
+    """Fan one batch out to socket-connected ``repro worker`` processes.
+
+    Attributes (settable before the first batch, mainly for tests):
+
+    * ``coord`` — ``host:port`` override for ``REPRO_COORD``.
+    * ``self_host`` — force worker self-spawning on (True) or off
+      (False); default (None) self-hosts exactly when no coordinator
+      address is configured.
+    * ``lease_s`` / ``wait_s`` — override the env-derived budgets.
+    * ``on_bound`` — callback invoked with the bound ``(host, port)``
+      before the batch waits for workers (tests attach in-process
+      workers here).
+    """
+
+    name = "remote"
+    parallel = True
+
+    def __init__(self) -> None:
+        self.coord: str | None = None
+        self.self_host: bool | None = None
+        self.lease_s: float | None = None
+        self.wait_s: float | None = None
+        self.on_bound = None
+        #: worker processes to self-spawn per batch (None = fan-out width)
+        self.spawn_workers: int | None = None
+
+    def run_batch(self, runner, todo, results, progress):
+        addr_spec = self.coord if self.coord is not None \
+            else os.environ.get(_COORD_ENV, "").strip()
+        self_host = self.self_host if self.self_host is not None \
+            else not addr_spec
+        try:
+            host, port = parse_addr(addr_spec) if addr_spec \
+                else ("127.0.0.1", 0)
+        except ValueError:
+            runner._note_remote_degraded(
+                f"bad coordinator address {addr_spec!r}", len(todo))
+            return self._local_fallback(runner, todo, results, progress)
+        lease_s = self.lease_s if self.lease_s is not None \
+            else default_lease_s()
+        wait_s = self.wait_s if self.wait_s is not None \
+            else default_wait_s()
+        coordinator = _Coordinator(runner, todo, results, progress,
+                                   lease_s, wait_s)
+        try:
+            bound = coordinator.start(host, port)
+        except OSError as exc:
+            runner._note_remote_degraded(
+                f"cannot bind {host}:{port} ({exc})", len(todo))
+            return self._local_fallback(runner, todo, results, progress)
+        procs: list[subprocess.Popen] = []
+        try:
+            if self_host:
+                count = self.spawn_workers if self.spawn_workers \
+                    else runner._fanout_workers(len(todo))
+                procs = self._spawn(bound, count)
+                if not procs:
+                    coordinator.close()
+                    runner._note_remote_degraded(
+                        "cannot spawn local workers", len(todo))
+                    return self._local_fallback(runner, todo, results,
+                                                progress)
+            if self.on_bound is not None:
+                self.on_bound(bound)
+            degraded = coordinator.run()
+        finally:
+            coordinator.close()
+            self._reap(procs)
+        if degraded:
+            remaining = [entry for entry in todo
+                         if entry[0] not in results]
+            runner._note_remote_degraded(
+                "no live workers", len(remaining))
+            return self._local_fallback(runner, remaining, results,
+                                        progress)
+        return [entry for entry in todo if entry[0] not in results]
+
+    def _local_fallback(self, runner, todo, results, progress):
+        """Finish ``todo`` on the auto-picked *local* backend — a dead or
+        unreachable fleet must cost throughput, not the campaign."""
+        from repro.exec import make_backend
+        from repro.exec.auto import auto_pick
+
+        if not todo:
+            return []
+        choice = auto_pick(pool_cls=runner._pool_cls())
+        get_registry().inc(f"remote.fallback.{choice.backend}")
+        backend = make_backend(choice.backend)
+        if not backend.parallel:
+            return list(todo)
+        return backend.run_batch(runner, list(todo), results, progress)
+
+    def _spawn(self, addr: tuple[str, int],
+               count: int) -> list[subprocess.Popen]:
+        """Start ``count`` localhost worker subprocesses aimed at the
+        self-hosted coordinator. Best-effort: an unspawnable platform
+        returns an empty list and the caller degrades."""
+        import repro
+
+        env = dict(os.environ)
+        pkg_root = str(Path(repro.__file__).resolve().parents[1])
+        parts = [pkg_root] + [p for p in
+                              env.get("PYTHONPATH", "").split(os.pathsep)
+                              if p]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        command = [sys.executable, "-m", "repro", "worker",
+                   "--coord", f"{addr[0]}:{addr[1]}",
+                   "--exit-on-disconnect", "--max-idle", "120"]
+        procs = []
+        for _ in range(max(1, count)):
+            try:
+                procs.append(subprocess.Popen(
+                    command, env=env, stdin=subprocess.DEVNULL,
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL))
+            except OSError:
+                break
+        if not procs:
+            return []
+        return procs
+
+    def _reap(self, procs: list[subprocess.Popen]) -> None:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 3.0
+        for proc in procs:
+            timeout = max(0.1, deadline - time.monotonic())
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                try:
+                    proc.wait(timeout=1.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover
+                    pass
+
+
+# -- the worker ----------------------------------------------------------------
+
+class _DropConnection(Exception):
+    """Injected ``drop_conn`` fault: abandon the socket abruptly."""
+
+
+class _Worker:
+    """One worker's connect / pull / simulate / report loop."""
+
+    def __init__(self, coord: str, *, max_idle_s: float | None = None,
+                 max_tasks: int | None = None,
+                 exit_on_disconnect: bool = False,
+                 in_process: bool = False,
+                 heartbeats_enabled: bool = True,
+                 pre_result_delay_s: float = 0.0,
+                 reconnect_cap_s: float = RECONNECT_CAP_S,
+                 stop_event: threading.Event | None = None) -> None:
+        self.host, self.port = parse_addr(coord)
+        self.max_idle_s = max_idle_s
+        self.max_tasks = max_tasks
+        self.exit_on_disconnect = exit_on_disconnect
+        self.in_process = in_process
+        self.heartbeats_enabled = heartbeats_enabled
+        self.pre_result_delay_s = pre_result_delay_s
+        self.reconnect_cap_s = reconnect_cap_s
+        self.stop_event = stop_event or threading.Event()
+        self.token = (f"worker-{socket.gethostname()}-{os.getpid()}-"
+                      f"{threading.get_ident()}")
+        self.tasks_done = 0
+        self.metrics = get_registry()
+        self._runners: dict[tuple, object] = {}
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _sleep(self, seconds: float) -> None:
+        self.stop_event.wait(max(0.0, seconds))
+
+    def _stopped(self) -> bool:
+        return self.stop_event.is_set()
+
+    def _runner_for(self, task: dict):
+        """A serial runner matching the task's spec (cached per spec so a
+        stream of same-campaign tasks shares the in-memory trace cache).
+        Worker hazards arm only in dedicated processes — an in-process
+        (test-thread) worker must never ``os._exit`` its host."""
+        from repro.sim.experiments import ExperimentRunner
+
+        spec = (task["cache_dir"], float(task["scale"]),
+                int(task["seed"]), bool(task["use_disk_cache"]),
+                task.get("log_dir"), int(task.get("checkpoint_events", 0)))
+        runner = self._runners.get(spec)
+        if runner is None:
+            runner = ExperimentRunner(
+                cache_dir=spec[0], scale=spec[1], seed=spec[2],
+                use_disk_cache=spec[3], jobs=1, backend="serial",
+                task_timeout=None, max_attempts=1, retry_backoff=0.0,
+                log_dir=spec[4], checkpoint_events=spec[5],
+                heartbeat_timeout=0.0, mem_limit_mb=0)
+            runner.backend_label = "remote"
+            runner.is_worker = not self.in_process
+            self._runners[spec] = runner
+        return runner
+
+    # -- the loop --------------------------------------------------------------
+
+    def run(self) -> int:
+        """Connect (with capped full-jitter backoff), serve tasks, and
+        reconnect on loss or batch end until told to stop — only
+        ``exit_on_disconnect`` workers treat a lost/finished coordinator
+        as terminal. Returns tasks completed."""
+        attempt = 0
+        idle_since = time.monotonic()
+        while not self._stopped():
+            if self.max_idle_s is not None \
+                    and time.monotonic() - idle_since > self.max_idle_s:
+                break
+            attempt += 1
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=5.0)
+            except OSError:
+                self._sleep(jittered_backoff(
+                    RECONNECT_BASE_S, attempt + 1, self.token,
+                    cap=self.reconnect_cap_s))
+                continue
+            if attempt > 1:
+                self.metrics.inc("remote.reconnects")
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                pass
+            reason = None
+            try:
+                reason, idle_since = self._serve(sock, idle_since)
+                attempt = 0
+            except _DropConnection:
+                pass  # injected fault: reconnect as if the link died
+            except OSError:
+                pass
+            finally:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+            if self.exit_on_disconnect or reason in ("idle", "max-tasks"):
+                break
+            if reason == "shutdown":
+                # batch over, coordinator gone: a parked worker goes
+                # back to the connect loop and waits for the next one
+                idle_since = time.monotonic()
+            if self.max_tasks is not None \
+                    and self.tasks_done >= self.max_tasks:
+                break
+        return self.tasks_done
+
+    def _serve(self, sock: socket.socket,
+               idle_since: float) -> tuple[str | None, float]:
+        """One connection's lifetime; returns (why it ended, idle stamp).
+        The reason is ``"shutdown"`` (coordinator finished its batch),
+        ``"idle"`` / ``"max-tasks"`` (this worker's own limits — always
+        terminal), or ``None`` (stop event)."""
+        lock = threading.Lock()
+        send_msg(sock, {"type": "hello", "pid": os.getpid(),
+                        "host": socket.gethostname()}, lock)
+        welcome = recv_msg(sock)
+        if not welcome or welcome.get("type") != "welcome":
+            raise OSError("no welcome from coordinator")
+        lease_s = float(welcome.get("lease_s", DEFAULT_LEASE_S))
+        while not self._stopped():
+            if self.max_tasks is not None \
+                    and self.tasks_done >= self.max_tasks:
+                send_msg(sock, {"type": "goodbye"}, lock)
+                return "max-tasks", idle_since
+            send_msg(sock, {"type": "request"}, lock)
+            message = recv_msg(sock)
+            if message is None:
+                raise OSError("coordinator went away")
+            kind = message.get("type")
+            if kind == "task":
+                self._run_task(sock, lock, message, lease_s)
+                self.tasks_done += 1
+                idle_since = time.monotonic()
+            elif kind == "idle":
+                if self.max_idle_s is not None and \
+                        time.monotonic() - idle_since > self.max_idle_s:
+                    send_msg(sock, {"type": "goodbye"}, lock)
+                    return "idle", idle_since
+                self._sleep(float(message.get("poll_s",
+                                              WORKER_IDLE_POLL_S)))
+            elif kind == "shutdown":
+                return "shutdown", idle_since
+            else:
+                raise OSError(f"unexpected message {kind!r}")
+        return None, idle_since
+
+    def _run_task(self, sock: socket.socket, lock: threading.Lock,
+                  task: dict, lease_s: float) -> None:
+        plan = get_fault_plan()
+        key, app = task["key"], task["app"]
+        task_id = task["task_id"]
+        token = f"{key}#a{task.get('attempt', 1)}"
+        if plan.active and plan.fires("drop_conn", token):
+            # the link "dies" right as the task lands: the lease expires
+            # (or the leave is noticed) and the task is stolen
+            raise _DropConnection(token)
+        if not self.in_process:
+            plan.maybe_kill_worker(token)
+        heartbeat_stop = threading.Event()
+        suppress = not self.heartbeats_enabled or \
+            (plan.active and plan.fires("stale_lease", token))
+        beater = None
+        if not suppress:
+            interval = max(0.05, lease_s / 3.0)
+
+            def beat():
+                while not heartbeat_stop.wait(interval):
+                    try:
+                        send_msg(sock, {"type": "heartbeat",
+                                        "task_id": task_id}, lock)
+                    except OSError:
+                        return
+
+            beater = threading.Thread(target=beat, daemon=True,
+                                      name="repro-worker-heartbeat")
+            beater.start()
+        error = None
+        payload = None
+        try:
+            runner = self._runner_for(task)
+            runner.worker_attempt = int(task.get("attempt", 1))
+            config = config_from_dict(task["config"])
+            payload = runner.run(app, config).to_dict()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as exc:  # noqa: BLE001 — reported upstream
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            heartbeat_stop.set()
+            if beater is not None:
+                beater.join(timeout=2.0)
+        if self.pre_result_delay_s > 0:
+            self._sleep(self.pre_result_delay_s)
+        if plan.active:
+            self._sleep(plan.delay_s("slow_socket", token))
+        if error is not None:
+            send_msg(sock, {"type": "error", "task_id": task_id,
+                            "key": key, "app": app,
+                            "reason": error}, lock)
+            recv_msg(sock)
+            return
+        digest = payload_digest(canonical_json(payload))
+        message = {"type": "result", "task_id": task_id, "key": key,
+                   "app": app, "digest": digest, "payload": payload}
+        copies = 2 if plan.active and plan.fires("dup_result", token) \
+            else 1
+        for _ in range(copies):
+            send_msg(sock, message, lock)
+            if recv_msg(sock) is None:
+                raise OSError("coordinator went away mid-ack")
+
+
+def worker_main(coord: str, *, max_idle_s: float | None = None,
+                max_tasks: int | None = None,
+                exit_on_disconnect: bool = False,
+                in_process: bool = False,
+                heartbeats_enabled: bool = True,
+                pre_result_delay_s: float = 0.0,
+                reconnect_cap_s: float = RECONNECT_CAP_S,
+                stop_event: threading.Event | None = None) -> int:
+    """Run one worker against ``coord`` (``host:port``); the entry point
+    behind ``repro worker``, also callable in-process (tests run it in
+    threads with ``in_process=True`` so process-level hazards never arm).
+    Returns the number of tasks completed."""
+    worker = _Worker(coord, max_idle_s=max_idle_s, max_tasks=max_tasks,
+                     exit_on_disconnect=exit_on_disconnect,
+                     in_process=in_process,
+                     heartbeats_enabled=heartbeats_enabled,
+                     pre_result_delay_s=pre_result_delay_s,
+                     reconnect_cap_s=reconnect_cap_s,
+                     stop_event=stop_event)
+    return worker.run()

@@ -40,6 +40,16 @@ Record kinds (``kind`` field):
   app, the worker pid and its heartbeat age in seconds.
 * ``fanout-disabled`` — a ``jobs="auto"`` runner found one usable CPU and
   fell back to serial execution: the CPU count and pid.
+* ``worker-join`` / ``worker-leave`` — a remote worker connected to /
+  disconnected from a ``REPRO_BACKEND=remote`` coordinator: the
+  coordinator-assigned worker id, the worker's pid/host/peer address on
+  join, the reason (``disconnect`` / ``closing``) on leave.
+* ``steal`` — the remote coordinator revoked an expired or orphaned
+  lease and requeued its task: key, app, the worker that held it, the
+  lease age in seconds, and why (``lease-expired`` / ``worker-left``).
+* ``remote-degraded`` — the remote backend lost (or never had) its
+  worker fleet and fell back to the auto-picked local backend: the
+  reason and how many tasks remained.
 """
 
 from __future__ import annotations

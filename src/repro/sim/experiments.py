@@ -15,8 +15,10 @@ the same workload share one cache entry.
 Grids fan out through a pluggable execution backend
 (:mod:`repro.exec`): ``REPRO_BACKEND`` (or the ``backend`` constructor
 argument / ``--backend`` CLI flag) selects ``serial``, ``thread``,
-``process``, or ``auto`` — which measures the machine shape and picks
-one of the other three. When no backend is named, it derives from the
+``process``, ``remote`` (socket-connected ``repro worker`` processes
+under time-bounded leases — see :mod:`repro.exec.remote`), or ``auto``
+— which measures the machine shape and picks one of the local three.
+When no backend is named, it derives from the
 worker count: ``REPRO_JOBS`` (or the ``jobs`` constructor argument /
 ``--jobs`` CLI flag) above 1 means ``process``, the historical
 behaviour. :meth:`ExperimentRunner.run_many` hands the missing
@@ -102,7 +104,8 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Iterable
 
-from repro.exec import BACKEND_NAMES, auto_pick, make_backend
+from repro.exec import (BACKEND_NAMES, auto_pick, jittered_backoff,
+                        make_backend)
 from repro.isa.tracefile import VERSION as TRACE_VERSION
 from repro.isa.tracefile import LoadedTrace, dump_trace, load_trace
 from repro.obs.metrics import get_registry
@@ -361,8 +364,9 @@ class ExperimentRunner:
                  min_disk_mb: int | None = None,
                  mem_limit_mb: int | None = None) -> None:
         """``backend`` (or ``REPRO_BACKEND``) names the execution
-        backend for grid batches — ``serial``, ``thread``, ``process``
-        or ``auto`` (see :mod:`repro.exec`); unset, it derives from the
+        backend for grid batches — ``serial``, ``thread``, ``process``,
+        ``remote`` or ``auto`` (see :mod:`repro.exec`); unset, it
+        derives from the
         worker count. ``task_timeout`` (or ``REPRO_TASK_TIMEOUT``) bounds each
         task attempt; ``max_attempts`` / ``retry_backoff`` (or
         ``REPRO_MAX_ATTEMPTS`` / ``REPRO_RETRY_BACKOFF``) shape the retry
@@ -420,7 +424,7 @@ class ExperimentRunner:
         self._backend_impl = None
         #: execution context stamped on this runner's run records:
         #: "serial" (parent / inline), "thread" (pool-thread clones),
-        #: "process" (worker processes)
+        #: "process" (worker processes), "remote" (socket workers)
         self.backend_label = "serial"
         self.task_timeout = default_task_timeout() if task_timeout is None \
             else (task_timeout if task_timeout > 0 else None)
@@ -969,6 +973,47 @@ class ExperimentRunner:
         charged against the task's deadline."""
         self.metrics.observe("backend.queue_wait_s", seconds)
 
+    def _note_steal(self, key: str, app: str, worker: int,
+                    age_s: float, reason: str) -> None:
+        """The remote coordinator revoked one lease — expired heartbeats
+        or a worker disconnect — and requeued the task to a live worker.
+        Not a retry in the attempt-budget sense: the steal re-issues the
+        *same* attempt elsewhere."""
+        if self._runlog.enabled:
+            self._runlog.write({
+                "kind": "steal", "ts": round(time.time(), 3), "key": key,
+                "app": app, "worker": worker,
+                "age_s": round(age_s, 3), "reason": reason,
+                "pid": os.getpid()})
+
+    def _note_worker_join(self, worker: int, hello: dict, addr) -> None:
+        """One remote worker connected and was welcomed."""
+        if self._runlog.enabled:
+            self._runlog.write({
+                "kind": "worker-join", "ts": round(time.time(), 3),
+                "worker": worker, "worker_pid": hello.get("pid"),
+                "host": hello.get("host", ""),
+                "peer": f"{addr[0]}:{addr[1]}" if addr else "",
+                "pid": os.getpid()})
+
+    def _note_worker_leave(self, worker: int, reason: str) -> None:
+        """One remote worker disconnected (its leases are stolen)."""
+        if self._runlog.enabled:
+            self._runlog.write({
+                "kind": "worker-leave", "ts": round(time.time(), 3),
+                "worker": worker, "reason": reason, "pid": os.getpid()})
+
+    def _note_remote_degraded(self, reason: str, remaining: int) -> None:
+        """The remote backend lost (or never had) its worker fleet and
+        is falling back to the auto-picked local backend mid-batch —
+        degraded throughput, not a failed campaign."""
+        self.metrics.inc("remote.degraded")
+        if self._runlog.enabled:
+            self._runlog.write({
+                "kind": "remote-degraded", "ts": round(time.time(), 3),
+                "reason": reason, "remaining": remaining,
+                "pid": os.getpid()})
+
     # -- parallel fan-out -----------------------------------------------------
 
     def run_many(self, pairs: Iterable[tuple[str, SimConfig]],
@@ -1110,8 +1155,11 @@ class ExperimentRunner:
         reason = "unknown"
         for attempt in range(1, self.max_attempts + 1):
             if attempt > 1:
-                delay = min(self.retry_backoff * 2 ** (attempt - 2),
-                            MAX_BACKOFF_SECONDS)
+                # full-jitter exponential backoff, seeded by the task key
+                # so a replayed campaign schedules identically while
+                # simultaneous retries spread out instead of herding
+                delay = jittered_backoff(self.retry_backoff, attempt,
+                                         key, cap=MAX_BACKOFF_SECONDS)
                 if delay > 0:
                     time.sleep(delay)
             if manifest is not None:

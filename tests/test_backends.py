@@ -28,8 +28,9 @@ import pytest
 
 import repro.exec.auto as auto_mod
 import repro.sim.experiments as experiments_mod
-from repro.exec import (BACKEND_NAMES, ProcessBackend, SerialBackend,
-                        ThreadBackend, auto_pick, make_backend)
+from repro.exec import (BACKEND_NAMES, ProcessBackend, RemoteBackend,
+                        SerialBackend, ThreadBackend, auto_pick,
+                        make_backend)
 from repro.obs import metrics as metrics_mod
 from repro.obs.runlog import iter_records
 from repro.obs.stats import format_table, summarize
@@ -94,12 +95,13 @@ def fresh_auto_cache():
 class TestBackendParity:
     def test_all_backends_bit_identical_with_identical_cache_keys(
             self, tmp_path):
-        """The acceptance matrix: the same grid through serial, thread
-        and process backends yields bit-identical results AND
-        identically-named (= identically-keyed) cache files."""
+        """The acceptance matrix: the same grid through the serial,
+        thread, process and remote (self-hosted socket workers) backends
+        yields bit-identical results AND identically-named
+        (= identically-keyed) cache files."""
         reference = None
         ref_files = None
-        for backend in ("serial", "thread", "process"):
+        for backend in ("serial", "thread", "process", "remote"):
             runner = ExperimentRunner(cache_dir=tmp_path / backend,
                                       scale=0.1, seed=0, jobs=2,
                                       backend=backend)
@@ -356,10 +358,12 @@ class TestBackendConfiguration:
             make_backend("auto")  # auto is a picker, not a backend
 
     def test_backend_registry_shape(self):
-        assert BACKEND_NAMES == ("serial", "thread", "process", "auto")
+        assert BACKEND_NAMES == ("serial", "thread", "process", "remote",
+                                 "auto")
         assert SerialBackend().parallel is False
         assert ThreadBackend().parallel is True
         assert ProcessBackend().parallel is True
+        assert RemoteBackend().parallel is True
 
 
 class TestBackendObservability:
