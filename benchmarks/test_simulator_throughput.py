@@ -7,13 +7,17 @@ exist (``repro.sim.simulator``): the object path over
 segment-batch kernel with whole-event memoization
 (``repro.sim.kernel``). The benchmarks time all three;
 ``test_record_throughput_snapshot`` writes the measured speedups to
-``output/BENCH_throughput.json`` for the record (schema v4: wall
+``output/BENCH_throughput.json`` for the record (schema v5: wall
 seconds, Minstr/s and the selected kernel per path, plus one grid row
 per execution backend — serial / thread / process / remote / auto with
 its resolved pick — so the recorded numbers say how each fan-out
-strategy actually performed on the recording machine; the remote row
-runs self-hosted localhost workers, so it prices the socket protocol
-and subprocess spin-up, not real network latency).
+strategy actually performed on the recording machine; the remote rows
+run self-hosted localhost workers, so they price the socket protocol
+and subprocess spin-up, not real network latency. v5 adds the
+``remote_fetch`` row: the same grid with ``REPRO_STORE=fetch``
+shared-nothing workers on private caches, so the fetch-path overhead —
+chunked artifact transfer + digest re-verification versus a shared
+filesystem — is a recorded number, not a guess).
 
 Timing discipline: every path is measured best-of-N over *fresh*
 simulators. For the vector kernel the first rep records into the segment
@@ -41,10 +45,11 @@ from repro.workloads import EventTrace, get_app
 
 _OUTPUT_DIR = Path(__file__).parent / "output"
 
-#: snapshot layout: 4 adds the remote-backend grid row (3 added the
-#: per-execution-backend grid rows; 2 added per-path Minstr/s, per-row
-#: kernel names, the vector rows and the auto-jobs grid row)
-SNAPSHOT_SCHEMA_VERSION = 4
+#: snapshot layout: 5 adds the shared-nothing ``remote_fetch`` grid row
+#: (4 added the remote-backend grid row; 3 the per-execution-backend
+#: grid rows; 2 per-path Minstr/s, per-row kernel names, the vector
+#: rows and the auto-jobs grid row)
+SNAPSHOT_SCHEMA_VERSION = 5
 
 
 def _prewarmed_trace(scale: float = 1.0) -> EventTrace:
@@ -159,7 +164,7 @@ def _time_path(trace, config, reps: int, **sim_kwargs) -> dict:
 
 def test_record_throughput_snapshot(tmp_path_factory):
     """Measure object/packed/vector and serial-vs-parallel speedups and
-    write them to ``output/BENCH_throughput.json`` (schema v4)."""
+    write them to ``output/BENCH_throughput.json`` (schema v5)."""
     trace = _prewarmed_trace()
     snapshot: dict = {
         "schema_version": SNAPSHOT_SCHEMA_VERSION,
@@ -239,6 +244,24 @@ def test_record_throughput_snapshot(tmp_path_factory):
         if runner.backend_choice is not None:
             row["auto_reason"] = runner.backend_choice.reason
         backends[name] = row
+
+    # the shared-nothing row: same grid, REPRO_STORE=fetch — self-hosted
+    # workers on private empty caches resolve every trace through the
+    # coordinator's artifact plane, so (remote_fetch - remote) wall time
+    # is the recorded price of chunked transfer + digest re-verification
+    # relative to a shared filesystem
+    cache = tmp_path_factory.mktemp("snapshot-backend-remote-fetch")
+    runner = ExperimentRunner(cache_dir=cache, scale=0.25, seed=0,
+                              jobs=2, backend="remote")
+    runner._resolve_backend().store_mode = "fetch"
+    start = time.perf_counter()
+    runner.grid(grid_configs, apps=grid_apps)
+    backends["remote_fetch"] = {
+        "wall_s": round(time.perf_counter() - start, 4),
+        "jobs": runner.jobs,
+        "resolved": runner.backend_name,
+        "store": "fetch",
+    }
     snapshot["grid_2x2_scale0.25"]["backends"] = backends
 
     _OUTPUT_DIR.mkdir(exist_ok=True)

@@ -14,7 +14,9 @@ Commands:
 * ``presets`` — list the named machine configurations.
 * ``worker`` — connect to a ``REPRO_BACKEND=remote`` coordinator
   (``--coord`` / ``REPRO_COORD``) and run leased simulation tasks until
-  the batch shuts it down.
+  the batch shuts it down; ``--no-shared-fs`` serves everything from a
+  private cache through the digest-verified artifact plane (no common
+  mount needed).
 * ``inspect`` — per-event anatomy of one app's trace.
 * ``stats`` — aggregate the harness's JSONL run logs (cache hit rates,
   per-app wall-clock and throughput, the execution backend that served
@@ -205,7 +207,9 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     try:
         done = worker_main(
             coord, max_idle_s=args.max_idle,
-            exit_on_disconnect=args.exit_on_disconnect)
+            exit_on_disconnect=args.exit_on_disconnect,
+            no_shared_fs=args.no_shared_fs,
+            cache_dir=args.cache_dir)
     except KeyboardInterrupt:
         print("\nworker interrupted", file=sys.stderr)
         return 130
@@ -333,6 +337,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--exit-on-disconnect", action="store_true",
                    help="exit when the coordinator goes away instead of "
                         "reconnecting with backoff")
+    p.add_argument("--no-shared-fs", action="store_true",
+                   help="never open coordinator paths: keep a private "
+                        "cache and resolve misses through the artifact "
+                        "plane (fetch traces by digest, push checkpoints "
+                        "back)")
+    p.add_argument("--cache-dir", default=None,
+                   help="private cache directory for --no-shared-fs "
+                        "(default: this machine's REPRO_CACHE_DIR or "
+                        "the platform cache dir)")
     p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser("inspect", help="per-event anatomy of a trace")

@@ -50,6 +50,13 @@ Record kinds (``kind`` field):
 * ``remote-degraded`` — the remote backend lost (or never had) its
   worker fleet and fell back to the auto-picked local backend: the
   reason and how many tasks remained.
+* ``fetch`` — the coordinator served one artifact over the
+  shared-nothing artifact plane (``REPRO_STORE=fetch``): the digest,
+  artifact kind, byte count and chunk count of the transfer.
+* ``quarantine-propagated`` — a digest failed verification somewhere in
+  the fleet and was poisoned fleet-wide (it will never be re-served):
+  the digest, artifact kind, reason, and which side reported it
+  (``coordinator`` or ``worker-N``).
 """
 
 from __future__ import annotations

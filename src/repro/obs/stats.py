@@ -9,7 +9,10 @@ cache corruptions (per artifact kind), permanently failed tasks, the
 mid-simulation resilience activity — checkpoints written, resumes (with
 generation fallbacks) and stalled-worker kills — and the remote-backend
 activity (workers joined/left, leases stolen, degradations to a local
-backend; the ``remote —`` summary line) — as a human-readable
+backend; the ``remote —`` summary line) and the artifact-plane activity
+of shared-nothing fleets (``fetch`` records for served transfers,
+``quarantine-propagated`` records for digests poisoned fleet-wide; the
+``store —`` summary line) — as a human-readable
 table plus a machine-readable summary dict (``--json``). Every quarantine event the harness performs is
 a ``corrupt`` record, so this report is the audit trail of how much
 on-disk state had to be regenerated.
@@ -43,6 +46,8 @@ def summarize(records) -> dict:
          "stalled_kills": int,
          "remote_workers_joined": int, "remote_workers_left": int,
          "remote_steals": int, "remote_degraded": int,
+         "store_fetches": int, "store_fetch_bytes": int,
+         "store_quarantines": int,
          "simulate_s": float, "apps": {app: {...per-app...}}}
 
     Per-app buckets carry run/hit/retry/corruption/failure counts, the
@@ -59,6 +64,7 @@ def summarize(records) -> dict:
     corruptions = task_failures = 0
     checkpoints = resumes = resume_fallbacks = stalled_kills = 0
     workers_joined = workers_left = steals = remote_degraded = 0
+    store_fetches = store_fetch_bytes = store_quarantines = 0
     corrupt_by_artifact: dict[str, int] = {}
     backend_choices: dict[str, int] = {}
     for record in records:
@@ -136,6 +142,13 @@ def summarize(records) -> dict:
                 bucket["steals"] = bucket.get("steals", 0) + 1
         elif kind == "remote-degraded":
             remote_degraded += 1
+        elif kind == "fetch":
+            store_fetches += 1
+            size = record.get("bytes")
+            if isinstance(size, int):
+                store_fetch_bytes += size
+        elif kind == "quarantine-propagated":
+            store_quarantines += 1
     for bucket in apps.values():
         sim_s = bucket["simulate_s"]
         n_sim = bucket["simulated"]
@@ -180,6 +193,9 @@ def summarize(records) -> dict:
         "remote_workers_left": workers_left,
         "remote_steals": steals,
         "remote_degraded": remote_degraded,
+        "store_fetches": store_fetches,
+        "store_fetch_bytes": store_fetch_bytes,
+        "store_quarantines": store_quarantines,
         "kernels": {k: kernels_total[k] for k in sorted(kernels_total)},
         "memo_replayed": memo_replayed,
         "memo_recorded": memo_recorded,
@@ -276,4 +292,11 @@ def format_table(summary: dict) -> str:
             f"{summary.get('remote_workers_left', 0)}, leases stolen: "
             f"{summary.get('remote_steals', 0)}, degraded to local: "
             f"{summary.get('remote_degraded', 0)}")
+    if summary.get("store_fetches") or summary.get("store_quarantines"):
+        lines.append(
+            f"store — artifacts served: "
+            f"{summary.get('store_fetches', 0)} "
+            f"({summary.get('store_fetch_bytes', 0):,} bytes), "
+            f"quarantines propagated: "
+            f"{summary.get('store_quarantines', 0)}")
     return "\n".join(lines)

@@ -34,6 +34,17 @@ Kinds:
 * ``stale_lease`` — a remote worker suppresses its heartbeats for one
   task so the lease expires mid-run (exercises expiry-driven stealing
   even though the worker is alive and may still deliver late).
+* ``corrupt_chunk`` — the coordinator damages one seeded byte of an
+  artifact-transfer chunk while keeping its stated CRC (exercises the
+  per-chunk transport check of :mod:`repro.store`: the fetch must read
+  as a retryable miss, never as data).
+* ``truncated_fetch`` — a worker "loses" the tail chunks of an artifact
+  fetch from a seeded cut point (the frames are still drained so the
+  protocol stays in sync; the short assembly must fail the size check
+  and retry, never land).
+* ``slow_fetch`` — the coordinator delays serving an artifact by a
+  seeded fraction of :data:`MAX_SOCKET_DELAY_S` (exercises fetch-path
+  lease renewal under slow links).
 
 Every decision is a pure function of ``(seed, kind, token, draw index)``
 — no wall clock, no process RNG — so a fault schedule replays exactly
@@ -61,7 +72,8 @@ _FAULTS_ENV = "REPRO_FAULTS"
 #: carried but never queried)
 KNOWN_KINDS = ("corrupt_trace", "torn_write", "kill_worker",
                "kill_mid_sim", "stall_worker", "interrupt",
-               "drop_conn", "slow_socket", "dup_result", "stale_lease")
+               "drop_conn", "slow_socket", "dup_result", "stale_lease",
+               "corrupt_chunk", "truncated_fetch", "slow_fetch")
 
 #: ceiling on the seeded ``slow_socket`` send delay (seconds) — long
 #: enough to reorder deliveries against fresh leases, short enough that

@@ -466,6 +466,20 @@ class ExperimentRunner:
         #: never run on the parent's inline path
         self.is_worker = False
         self.worker_attempt = 1
+        #: explicit kernel override (wins over ``REPRO_KERNEL``) — set by
+        #: remote workers from the task frame's forwarded env, so a
+        #: parked worker honours the campaign's kernel without mutating
+        #: its own process environment
+        self.kernel: str | None = None
+        #: artifact-plane handle (:class:`repro.exec.remote
+        #: ._ArtifactClient`) a shared-nothing worker installs per task:
+        #: :meth:`trace` resolves disk misses through it before
+        #: regenerating locally
+        self.store_client = None
+        #: per-task hook ``(key, path, state)`` a shared-nothing worker
+        #: installs to push each saved checkpoint generation back to the
+        #: coordinator (best-effort, like checkpointing itself)
+        self.checkpoint_mirror = None
         self.heartbeat: Heartbeat | None = None
         self._memory: dict[str, SimResult] = {}
         self._traces: dict[str, EventTrace | LoadedTrace] = {}
@@ -592,6 +606,20 @@ class ExperimentRunner:
             except (ValueError, EOFError, OSError):
                 self._note_corrupt(path, "trace", app=app)
                 trace = None
+        if trace is None and self.use_disk_cache \
+                and self.store_client is not None:
+            # shared-nothing worker: resolve the miss through the
+            # artifact plane before paying for local regeneration (the
+            # client digest-verifies before landing the file; raises
+            # ArtifactUnavailable under fetch_strict so the worker
+            # releases its lease instead of failing the batch)
+            if self.store_client.materialize_trace(app, path):
+                try:
+                    trace = load_trace(path, profile=get_app(app))
+                    self.metrics.inc("cache.trace.fetched")
+                except (ValueError, EOFError, OSError):
+                    self._note_corrupt(path, "trace", app=app)
+                    trace = None
         if trace is None:
             self.metrics.inc("cache.trace.miss")
             trace = EventTrace(get_app(app), scale=self.scale,
@@ -733,7 +761,7 @@ class ExperimentRunner:
         t0 = time.perf_counter()
         trace = self.trace(app)
         t1 = time.perf_counter()
-        sim = Simulator(trace, config)
+        sim = Simulator(trace, config, kernel=self.kernel)
         store = self._arm_checkpoints(sim, checkpoint_key, app)
         result = sim.run(**run_kwargs)
         if store is not None:
@@ -774,10 +802,16 @@ class ExperimentRunner:
                 sim.checkpoint_every = self.checkpoint_events
 
                 def sink(state, _store=store, _key=key, _app=app):
-                    if _store.save(state) is not None:
+                    saved = _store.save(state)
+                    if saved is not None:
                         self.metrics.inc("checkpoint.written")
                         self._log_checkpoint(
                             _key, _app, state["loop"]["position"])
+                        if self.checkpoint_mirror is not None:
+                            # shared-nothing worker: offer the saved
+                            # generation to the coordinator so a stolen
+                            # task resumes on another machine
+                            self.checkpoint_mirror(_key, saved, state)
 
                 sim.checkpoint_sink = sink
         hook = self._event_hook(key, app)
@@ -1002,6 +1036,26 @@ class ExperimentRunner:
             self._runlog.write({
                 "kind": "worker-leave", "ts": round(time.time(), 3),
                 "worker": worker, "reason": reason, "pid": os.getpid()})
+
+    def _note_fetch(self, digest: str, kind: str, size: int,
+                    chunks: int) -> None:
+        """The coordinator served one artifact over the plane."""
+        if self._runlog.enabled:
+            self._runlog.write({
+                "kind": "fetch", "ts": round(time.time(), 3),
+                "digest": digest, "artifact": kind, "bytes": size,
+                "chunks": chunks, "pid": os.getpid()})
+
+    def _note_quarantine_propagated(self, digest: str, kind: str,
+                                    reason: str, source: str) -> None:
+        """A digest failed verification somewhere in the fleet and was
+        poisoned fleet-wide — it will never be re-served."""
+        if self._runlog.enabled:
+            self._runlog.write({
+                "kind": "quarantine-propagated",
+                "ts": round(time.time(), 3), "digest": digest,
+                "artifact": kind, "reason": reason, "source": source,
+                "pid": os.getpid()})
 
     def _note_remote_degraded(self, reason: str, remaining: int) -> None:
         """The remote backend lost (or never had) its worker fleet and

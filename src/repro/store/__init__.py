@@ -1,0 +1,284 @@
+"""Content-addressed artifact store: the data plane for remote fleets.
+
+``REPRO_BACKEND=remote`` originally assumed every ``repro worker``
+mounts the coordinator's filesystem — the task frame shipped a literal
+``cache_dir`` path. This package removes that assumption the way the
+distributed discrete-event simulators in PAPERS.md (MGSim's message
+channels, Akita's data-plane ports) do: simulation nodes exchange
+*artifacts* over the wire instead of sharing state.
+
+An :class:`ArtifactStore` is a digest-sharded directory of immutable
+blobs::
+
+    <cache>/store/<2-hex-prefix>/<digest>.<kind>
+    <cache>/store/poisoned/<digest>          (tombstones)
+
+where ``digest`` is the truncated SHA-256 of the blob's bytes
+(:func:`repro.resilience.integrity.payload_digest`) and ``kind`` names
+the artifact family — ``trace`` (``.espt`` trace-cache bytes),
+``result`` (digest-enveloped result-cache JSON), ``ckpt`` (checkpoint
+generations). The two-hex-prefix shard keeps any one directory small
+even for campaigns with tens of thousands of artifacts, and the digest
+filename makes writes idempotent: concurrent ``put`` calls of the same
+bytes land the same file via atomic temp-write + rename.
+
+The integrity discipline extends :mod:`repro.resilience.integrity`
+end-to-end:
+
+* every ``get`` re-hashes the bytes before returning them — a store
+  whose disk rotted serves a *miss*, never wrong data;
+* a digest that ever failed verification is **poisoned**: its bytes are
+  quarantined (never deleted) and a tombstone under ``poisoned/``
+  rejects both future reads *and* future writes of that digest, so a
+  corruption observed anywhere in the fleet is never re-served;
+* transfers are chunked (:func:`iter_chunks`) with a CRC32 per chunk,
+  so a torn transfer is detected at the transport layer and reads as a
+  *retryable* miss — only an intact transfer whose assembled bytes
+  mismatch their digest escalates to quarantine + fleet-wide poisoning
+  (the ``quarantine_notify`` frame of :mod:`repro.exec.remote`).
+
+``REPRO_STORE`` selects how remote workers resolve cache misses:
+``shared`` (the default) preserves the shared-filesystem behaviour
+bit-for-bit, ``fetch`` makes workers pull traces (and push checkpoints)
+through the coordinator by digest so fleets need no common mount.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import os
+import warnings
+import zlib
+from pathlib import Path
+
+from repro.obs.metrics import get_registry
+from repro.resilience.integrity import (IntegrityError, payload_digest,
+                                        quarantine)
+
+_STORE_ENV = "REPRO_STORE"
+
+#: the valid ``REPRO_STORE`` modes
+STORE_MODES = ("shared", "fetch")
+
+#: raw bytes per transfer chunk; base64 expands this ~4/3 on the wire,
+#: comfortably inside the 64 MB frame cap of the remote protocol
+CHUNK_BYTES = 256 * 1024
+
+#: hard ceiling on one artifact's size — a trace or checkpoint is tens
+#: of MB at the largest scales; anything beyond this is corruption or
+#: abuse, and both sides refuse to buffer it
+MAX_ARTIFACT_BYTES = 256 * 1024 * 1024
+
+#: malformed REPRO_STORE values already warned about
+_warned_modes: set[str] = set()
+
+
+class ArtifactUnavailable(RuntimeError):
+    """A required artifact could not be obtained through the plane and
+    local regeneration is not allowed — the worker releases its lease
+    instead of failing the batch."""
+
+
+def default_store_mode() -> str:
+    """Store mode from ``REPRO_STORE`` (default ``shared``). Malformed
+    values fall back with one warning, like every other harness knob."""
+    raw = os.environ.get(_STORE_ENV, "").strip().lower()
+    if not raw:
+        return "shared"
+    if raw in STORE_MODES:
+        return raw
+    if raw not in _warned_modes:
+        _warned_modes.add(raw)
+        warnings.warn(
+            f"ignoring malformed {_STORE_ENV}={raw!r}; expected one of "
+            f"{', '.join(STORE_MODES)} — using 'shared'",
+            RuntimeWarning, stacklevel=3)
+    return "shared"
+
+
+# -- chunked transfer helpers --------------------------------------------------
+
+def chunk_count(size: int) -> int:
+    """How many :data:`CHUNK_BYTES` chunks ``size`` bytes split into
+    (an empty artifact still ships one empty chunk, so every transfer
+    has at least one CRC-checked frame)."""
+    return max(1, (size + CHUNK_BYTES - 1) // CHUNK_BYTES)
+
+
+def iter_chunks(data: bytes):
+    """Yield ``(seq, total, raw_chunk)`` triples covering ``data``."""
+    total = chunk_count(len(data))
+    for seq in range(total):
+        yield seq, total, data[seq * CHUNK_BYTES:(seq + 1) * CHUNK_BYTES]
+
+
+def chunk_crc(raw: bytes) -> int:
+    """CRC32 of one raw (pre-base64) chunk."""
+    return zlib.crc32(raw) & 0xFFFFFFFF
+
+
+def encode_chunk(raw: bytes) -> str:
+    """Raw chunk bytes -> the base64 text carried in a JSON frame."""
+    return base64.b64encode(raw).decode("ascii")
+
+
+def decode_chunk(text) -> bytes | None:
+    """Base64 frame text -> raw bytes, or None on garbage (a protocol
+    error at the transport layer, handled as a retryable failure)."""
+    if not isinstance(text, str):
+        return None
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, binascii.Error):
+        return None
+
+
+# -- the store -----------------------------------------------------------------
+
+class ArtifactStore:
+    """A digest-sharded directory of verified, immutable artifacts.
+
+    One instance serves one cache directory; the coordinator holds one
+    over the campaign cache, every ``--no-shared-fs`` worker holds a
+    private one it warms from fetches. All operations are best-effort
+    against a read-only or full disk: a failed write loses the cached
+    copy, never the campaign.
+    """
+
+    #: artifact families the plane ships (unknown kinds are rejected at
+    #: the protocol boundary as protocol errors, not served)
+    KINDS = ("trace", "result", "ckpt")
+
+    def __init__(self, root: Path | str,
+                 quarantine_dir: Path | str | None = None) -> None:
+        self.root = Path(root)
+        self.quarantine_dir = Path(quarantine_dir) \
+            if quarantine_dir is not None else self.root.parent / "quarantine"
+        self.metrics = get_registry()
+
+    # -- paths -----------------------------------------------------------------
+
+    def _shard_dir(self, digest: str) -> Path:
+        return self.root / digest[:2]
+
+    def _blob_path(self, digest: str, kind: str) -> Path:
+        return self._shard_dir(digest) / f"{digest}.{kind}"
+
+    def _tombstone(self, digest: str) -> Path:
+        return self.root / "poisoned" / digest
+
+    # -- poisoning -------------------------------------------------------------
+
+    def is_poisoned(self, digest: str) -> bool:
+        """Whether ``digest`` has a tombstone (failed verification
+        somewhere in the fleet and must never be served again)."""
+        try:
+            return self._tombstone(digest).exists()
+        except OSError:
+            return False
+
+    def poison(self, digest: str, reason: str = "") -> None:
+        """Tombstone ``digest`` fleet-wide for this store: quarantine any
+        local bytes (never delete) and persist a ``poisoned/`` marker so
+        the refusal survives process restarts."""
+        self.metrics.inc("store.poisoned")
+        for kind in self.KINDS:
+            path = self._blob_path(digest, kind)
+            if path.exists():
+                quarantine(path, self.quarantine_dir)
+        stone = self._tombstone(digest)
+        try:
+            stone.parent.mkdir(parents=True, exist_ok=True)
+            tmp = stone.with_name(stone.name + f".{os.getpid()}.tmp")
+            tmp.write_text(reason or "poisoned")
+            os.replace(tmp, stone)
+        except OSError:
+            pass  # read-only store: the in-fleet notify still refuses it
+
+    # -- reads -----------------------------------------------------------------
+
+    def stat(self, digest: str, kind: str) -> dict:
+        """``{"exists": bool, "size": int, "poisoned": bool}`` for one
+        digest — the reply body of an ``artifact_stat`` frame."""
+        if self.is_poisoned(digest):
+            return {"exists": False, "size": 0, "poisoned": True}
+        path = self._blob_path(digest, kind)
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return {"exists": False, "size": 0, "poisoned": False}
+        return {"exists": True, "size": size, "poisoned": False}
+
+    def get_bytes(self, digest: str, kind: str) -> bytes | None:
+        """The verified bytes for ``digest``, or None on a miss.
+
+        Every read re-hashes: bytes that no longer match their digest
+        are quarantined, the digest is poisoned, and the call raises
+        :class:`~repro.resilience.integrity.IntegrityError` so the
+        caller can propagate the quarantine instead of serving a miss
+        silently.
+        """
+        if self.is_poisoned(digest):
+            return None
+        path = self._blob_path(digest, kind)
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        actual = payload_digest(data)
+        if actual != digest:
+            self.metrics.inc("store.verify_failures")
+            self.poison(digest, f"stored bytes hash to {actual!r}")
+            raise IntegrityError(
+                f"artifact {digest!r} ({kind}) failed verification: "
+                f"bytes hash to {actual!r}")
+        self.metrics.inc("store.hits")
+        return data
+
+    # -- writes ----------------------------------------------------------------
+
+    def put_bytes(self, data: bytes, kind: str,
+                  digest: str | None = None) -> str | None:
+        """Store ``data`` under its content digest; returns the digest,
+        or None when the blob was refused (poisoned digest, a claimed
+        digest that does not match the bytes, an oversized artifact) or
+        the write failed. Idempotent: an existing healthy blob is left
+        alone."""
+        if len(data) > MAX_ARTIFACT_BYTES:
+            self.metrics.inc("store.oversized_rejected")
+            return None
+        actual = payload_digest(data)
+        if digest is not None and digest != actual:
+            self.metrics.inc("store.verify_failures")
+            return None
+        if self.is_poisoned(actual):
+            self.metrics.inc("store.poisoned_rejected")
+            return None
+        path = self._blob_path(actual, kind)
+        if path.exists():
+            return actual
+        tmp = path.parent / (path.name + f".{os.getpid()}.tmp")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
+        self.metrics.inc("store.stored")
+        self.metrics.inc("store.bytes_stored", len(data))
+        return actual
+
+    def import_file(self, path: Path | str, kind: str) -> str | None:
+        """Pull an existing cache artifact (a trace file, a checkpoint
+        generation) into the shard layout; returns its digest or None
+        when the file is unreadable or refused."""
+        try:
+            data = Path(path).read_bytes()
+        except OSError:
+            return None
+        return self.put_bytes(data, kind)

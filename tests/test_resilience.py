@@ -401,8 +401,12 @@ class TestRunnerResume:
         def poisoned(self, app, cfg, **kwargs):
             raise RuntimeError("injected simulation bug")
 
+        # the poisoned _simulate only exists in this process: pin the
+        # backend so an ambient REPRO_BACKEND=remote can't hand the task
+        # to an unpatched worker
         monkeypatch.setattr(ExperimentRunner, "_simulate", poisoned)
-        runner = _runner(tmp_path, max_attempts=2, retry_backoff=0.0)
+        runner = _runner(tmp_path, max_attempts=2, retry_backoff=0.0,
+                         backend="serial")
         with pytest.raises(experiments_mod.GridTaskError) as info:
             runner.run_many([("bing", config)])
         assert "injected simulation bug" in str(info.value)
