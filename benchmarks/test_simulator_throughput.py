@@ -7,7 +7,7 @@ exist (``repro.sim.simulator``): the object path over
 segment-batch kernel with whole-event memoization
 (``repro.sim.kernel``). The benchmarks time all three;
 ``test_record_throughput_snapshot`` writes the measured speedups to
-``output/BENCH_throughput.json`` for the record (schema v5: wall
+``output/BENCH_throughput.json`` for the record (schema v6: wall
 seconds, Minstr/s and the selected kernel per path, plus one grid row
 per execution backend — serial / thread / process / remote / auto with
 its resolved pick — so the recorded numbers say how each fan-out
@@ -17,7 +17,10 @@ and subprocess spin-up, not real network latency. v5 adds the
 ``remote_fetch`` row: the same grid with ``REPRO_STORE=fetch``
 shared-nothing workers on private caches, so the fetch-path overhead —
 chunked artifact transfer + digest re-verification versus a shared
-filesystem — is a recorded number, not a guess).
+filesystem — is a recorded number, not a guess. v6 adds the
+``sampled_fidelity`` row: model-warm ``--fidelity sampled`` throughput
+at scale 2 against a cold full-detail run, with the achieved
+headline-metric error and the reported error bounds).
 
 Timing discipline: every path is measured best-of-N over *fresh*
 simulators. For the vector kernel the first rep records into the segment
@@ -45,11 +48,14 @@ from repro.workloads import EventTrace, get_app
 
 _OUTPUT_DIR = Path(__file__).parent / "output"
 
-#: snapshot layout: 5 adds the shared-nothing ``remote_fetch`` grid row
-#: (4 added the remote-backend grid row; 3 the per-execution-backend
-#: grid rows; 2 per-path Minstr/s, per-row kernel names, the vector
-#: rows and the auto-jobs grid row)
-SNAPSHOT_SCHEMA_VERSION = 5
+#: snapshot layout: 6 adds the ``sampled_fidelity`` row — model-warm
+#: ``--fidelity sampled`` Minstr/s at scale 2 against a cold full-detail
+#: run, with the achieved headline-metric error and the reported bound
+#: (5 added the shared-nothing ``remote_fetch`` grid row; 4 the
+#: remote-backend grid row; 3 the per-execution-backend grid rows; 2
+#: per-path Minstr/s, per-row kernel names, the vector rows and the
+#: auto-jobs grid row)
+SNAPSHOT_SCHEMA_VERSION = 6
 
 
 def _prewarmed_trace(scale: float = 1.0) -> EventTrace:
@@ -264,6 +270,53 @@ def test_record_throughput_snapshot(tmp_path_factory):
     }
     snapshot["grid_2x2_scale0.25"]["backends"] = backends
 
+    # v6: the sampled-fidelity row. One detailed sampled run learns the
+    # models and records the replay memo; the timed runs are model-warm
+    # — the steady state a sweep over a learned (trace, config) pair
+    # sees. The trace is built once and shared (both sides of the
+    # comparison pay zero construction cost), and the reference is a
+    # *cold* full-detail run: that is the workflow sampling replaces.
+    from repro.sim.sampling import clear_model_store
+
+    strace = _prewarmed_trace(scale=2.0)
+    config = presets.baseline()
+
+    def cold_full():
+        MEMO.clear()
+        state["result"] = Simulator(strace, config,
+                                    kernel="packed").run()
+
+    state: dict = {}
+    t_full = _best_of(cold_full, 2)
+    full_result = state["result"]
+
+    clear_model_store()
+    Simulator(strace, config, fidelity="sampled").run()  # learn + record
+
+    def warm_sampled():
+        state["result"] = Simulator(strace, config,
+                                    fidelity="sampled").run()
+
+    t_sampled = _best_of(warm_sampled, 3)
+    sampled = state["result"]
+    achieved = {
+        metric: (abs(getattr(sampled, metric) - getattr(full_result,
+                                                        metric))
+                 / abs(getattr(full_result, metric))
+                 if getattr(full_result, metric) else 0.0)
+        for metric in ("ipc", "cycles", "instructions")}
+    snapshot["sampled_fidelity"] = {
+        "workload": "pixlr scale=2.0 seed=0 baseline",
+        "full_cold_s": round(t_full, 4),
+        "sampled_warm_s": round(t_sampled, 4),
+        "speedup_vs_cold_full": round(t_full / t_sampled, 3),
+        "minstr_per_s": round(sampled.instructions / t_sampled / 1e6, 3),
+        "detailed_events": sampled.detailed_events,
+        "extrapolated_events": sampled.sampled_events,
+        "error_bounds": sampled.error_bounds,
+        "achieved_error": {k: round(v, 6) for k, v in achieved.items()},
+    }
+
     _OUTPUT_DIR.mkdir(exist_ok=True)
     (_OUTPUT_DIR / "BENCH_throughput.json").write_text(
         json.dumps(snapshot, indent=2) + "\n")
@@ -276,3 +329,9 @@ def test_record_throughput_snapshot(tmp_path_factory):
         assert row["wall_s"] > 0
         assert row["resolved"] in ("serial", "thread", "process",
                                    "remote"), row
+    row = snapshot["sampled_fidelity"]
+    assert row["speedup_vs_cold_full"] >= 10.0, row
+    assert all(bound <= 0.05
+               for bound in row["error_bounds"].values()), row
+    assert all(err <= 0.05
+               for err in row["achieved_error"].values()), row

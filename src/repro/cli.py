@@ -3,7 +3,8 @@
 Commands:
 
 * ``simulate`` — run one app through one machine preset and print the
-  result summary.
+  result summary (``--fidelity sampled`` extrapolates converged handler
+  classes and reports error bounds; see :mod:`repro.sim.sampling`).
 * ``run`` — run an (apps × presets) grid as a resumable campaign:
   progress is recorded in a grid manifest, so an interrupted or
   partially-failed campaign picks up where it stopped with
@@ -36,7 +37,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.simulator import simulate
 
     config = presets.by_name(args.config)
-    result = simulate(args.app, config, scale=args.scale, seed=args.seed)
+    result = simulate(args.app, config, scale=args.scale, seed=args.seed,
+                      fidelity=args.fidelity)
     r = result
     print(f"app={r.app} config={r.config}")
     print(f"  instructions  {r.instructions:>12,}")
@@ -52,6 +54,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"  hinted events {r.esp.hinted_events:>12,}")
     print(f"  energy        {r.energy.total:>12,.0f} units "
           f"(static {100 * r.energy.static / r.energy.total:.0f}%)")
+    if r.fidelity == "sampled":
+        bound = max(r.error_bounds.values(), default=0.0)
+        print(f"  fidelity      {'sampled':>12} "
+              f"(detailed {r.detailed_events:,} / "
+              f"extrapolated {r.sampled_events:,} events, "
+              f"max error bound {100 * bound:.2f}%)")
     return 0
 
 
@@ -71,7 +79,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     _apply_coord(args)
     runner = ExperimentRunner(scale=args.scale, seed=args.seed,
-                              jobs=args.jobs, backend=args.backend)
+                              jobs=args.jobs, backend=args.backend,
+                              fidelity=args.fidelity)
     if args.resume:
         try:
             resumed = runner.resume_grid()
@@ -128,6 +137,8 @@ def _cmd_figures(args: argparse.Namespace) -> int:
         names = ["--jobs", str(args.jobs)] + names
     if args.backend is not None:
         names = ["--backend", args.backend] + names
+    if args.fidelity is not None:
+        names = ["--fidelity", args.fidelity] + names
     figures_main(names or None)
     return 0
 
@@ -251,6 +262,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="preset name (default: esp_nl)")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fidelity", default=None,
+                   choices=["full", "sampled"],
+                   help="simulation fidelity (default: REPRO_FIDELITY "
+                        "or full; sampled extrapolates converged "
+                        "handler classes and tags the result with "
+                        "error bounds)")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser(
@@ -275,6 +292,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="remote coordinator address HOST:PORT for "
                         "--backend remote (default: REPRO_COORD; unset "
                         "= self-host local workers)")
+    p.add_argument("--fidelity", default=None,
+                   choices=["full", "sampled"],
+                   help="simulation fidelity (default: REPRO_FIDELITY "
+                        "or full; sampled results are cached under "
+                        "separate keys)")
     p.add_argument("--label", default=None,
                    help="label recorded in the grid manifest")
     p.add_argument("--resume", action="store_true",
@@ -298,6 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--coord", default=None,
                    help="remote coordinator address HOST:PORT for "
                         "--backend remote (default: REPRO_COORD)")
+    p.add_argument("--fidelity", default=None,
+                   choices=["full", "sampled"],
+                   help="simulation fidelity for the grid "
+                        "(default: REPRO_FIDELITY or full)")
     p.set_defaults(func=_cmd_figures)
 
     p = sub.add_parser("calibrate", help="workload calibration report")

@@ -135,7 +135,7 @@ FETCH_ATTEMPTS = 3
 #: environment knobs forwarded inside task frames — and folded into the
 #: worker-side runner memo key — so a parked worker serving campaigns
 #: with different settings never reuses a stale runner clone
-TASK_ENV_KEYS = ("REPRO_KERNEL",)
+TASK_ENV_KEYS = ("REPRO_KERNEL", "REPRO_FIDELITY")
 
 _HEADER = struct.Struct(">I")
 
@@ -329,16 +329,16 @@ class _Coordinator:
             try:
                 self._listener.close()
             except OSError:
-                pass
+                pass  # teardown: the listener may already be gone
         for conn in workers:
             try:
                 conn.shutdown(socket.SHUT_RDWR)
             except OSError:
-                pass
+                pass  # teardown: peer may have hung up first
             try:
                 conn.close()
             except OSError:
-                pass
+                pass  # teardown: double-close is harmless
         for thread in self._threads:
             thread.join(timeout=2.0)
 
@@ -365,7 +365,7 @@ class _Coordinator:
         try:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
-            pass
+            pass  # latency tweak only; some transports lack the option
         try:
             hello = recv_msg(conn)
             if not hello or hello.get("type") != "hello":
@@ -424,7 +424,7 @@ class _Coordinator:
             try:
                 conn.close()
             except OSError:
-                pass
+                pass  # connection already torn down by the peer
             if worker_id is not None:
                 self._worker_left(worker_id)
 
@@ -473,6 +473,9 @@ class _Coordinator:
             "checkpoint_events": runner.checkpoint_events,
             "lease_s": self.lease_s,
             "store": self.store_mode,
+            # explicit, not env-derived: the worker recomputes cache keys
+            # from this frame, and sampled/full results must never collide
+            "fidelity": runner.fidelity,
         }
         env = {name: os.environ[name] for name in TASK_ENV_KEYS
                if os.environ.get(name)}
@@ -583,14 +586,24 @@ class _Coordinator:
             dest.write_text(json.dumps(
                 {"reason": reason, "payload": payload}, sort_keys=True))
             dest_name = dest.name
-        except OSError:
-            pass
+        except OSError as exc:
+            # the forensic copy could not land (disk full, permissions):
+            # the payload is still rejected, but losing the evidence
+            # silently would hide a sick quarantine volume — account for
+            # it so operators see the drop
+            self.metrics.inc("remote.quarantine_write_failed")
+            write_error = f"{type(exc).__name__}: {exc}"
+        else:
+            write_error = None
         if runner._runlog.enabled:
-            runner._runlog.write({
+            record = {
                 "kind": "corrupt", "ts": round(time.time(), 3),
                 "artifact": "remote-result", "path": f"remote-{key}",
                 "quarantined": dest_name, "key": key,
-                "app": self._tasks[key][2], "pid": os.getpid()})
+                "app": self._tasks[key][2], "pid": os.getpid()}
+            if write_error is not None:
+                record["quarantine_write_failed"] = write_error
+            runner._runlog.write(record)
 
     # -- artifact plane (fetch mode) -------------------------------------------
 
@@ -779,7 +792,9 @@ class _Coordinator:
                            f"{time.monotonic_ns()}.quarantined")
             dest.write_bytes(data)
         except OSError:
-            pass
+            # forensic copy lost (disk full / permissions) — the blob is
+            # still rejected; surface the sick quarantine volume
+            self.metrics.inc("remote.quarantine_write_failed")
 
     def _poison_notified(self, worker_id: int, message: dict) -> None:
         """A worker verified corruption on its side of a transfer:
@@ -1093,7 +1108,7 @@ class RemoteBackend(ExecutionBackend):
                 try:
                     proc.wait(timeout=1.0)
                 except subprocess.TimeoutExpired:  # pragma: no cover
-                    pass
+                    pass  # SIGKILL already sent; the OS will reap it
         import shutil
         dirs, self._worker_dirs = self._worker_dirs, []
         for private in dirs:
@@ -1270,7 +1285,9 @@ class _ArtifactClient:
                                f"{time.monotonic_ns()}.quarantined")
                 dest.write_bytes(data)
             except OSError:
-                pass
+                # forensic copy lost — rejection still stands; surface
+                # the sick quarantine volume
+                self.metrics.inc("remote.quarantine_write_failed")
             self.store.poison(digest, reason)
         try:
             send_msg(self.sock, {"type": "quarantine_notify",
@@ -1451,6 +1468,7 @@ class _Worker:
         """
         from repro.sim.experiments import ExperimentRunner
         from repro.sim.kernel import KERNEL_NAMES
+        from repro.sim.sampling import FIDELITY_NAMES
 
         shared = task.get("store", "shared") == "shared" \
             and not self.no_shared_fs
@@ -1471,10 +1489,13 @@ class _Worker:
                 str(task.get("cache_dir", "")).encode()).hexdigest()[:12]
             cache_dir = str(self._private_cache_dir() / campaign)
             log_dir = None
+        fidelity = task.get("fidelity") or env.get("REPRO_FIDELITY")
+        if fidelity not in FIDELITY_NAMES:
+            fidelity = "full"  # degrade, never crash a parked worker
         spec = (cache_dir, float(task["scale"]), int(task["seed"]),
                 bool(task["use_disk_cache"]), log_dir,
                 int(task.get("checkpoint_events", 0)), shared,
-                env_items)
+                env_items, fidelity)
         runner = self._runners.get(spec)
         if runner is None:
             runner = ExperimentRunner(
@@ -1482,7 +1503,8 @@ class _Worker:
                 use_disk_cache=spec[3], jobs=1, backend="serial",
                 task_timeout=None, max_attempts=1, retry_backoff=0.0,
                 log_dir=log_dir, checkpoint_events=spec[5],
-                heartbeat_timeout=0.0, mem_limit_mb=0)
+                heartbeat_timeout=0.0, mem_limit_mb=0,
+                fidelity=fidelity)
             runner.backend_label = "remote"
             runner.is_worker = not self.in_process
             kernel = env.get("REPRO_KERNEL")
@@ -1517,7 +1539,7 @@ class _Worker:
             try:
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             except OSError:
-                pass
+                pass  # latency tweak only; absent on some transports
             reason = None
             try:
                 reason, idle_since = self._serve(sock, idle_since)
@@ -1525,12 +1547,12 @@ class _Worker:
             except _DropConnection:
                 pass  # injected fault: reconnect as if the link died
             except OSError:
-                pass
+                pass  # link died mid-serve: the loop reconnects
             finally:
                 try:
                     sock.close()
                 except OSError:
-                    pass
+                    pass  # socket already dead; nothing left to release
             if self.exit_on_disconnect or reason in ("idle", "max-tasks"):
                 break
             if reason == "shutdown":
@@ -1649,7 +1671,11 @@ class _Worker:
                                 position=int(
                                     state["loop"]["position"]))
                         except Exception:  # noqa: BLE001 — best-effort
-                            pass
+                            # a missed mirror only costs resume
+                            # granularity; the local checkpoint and the
+                            # lease machinery still cover the task
+                            self.metrics.inc(
+                                "remote.ckpt_mirror_failed")
 
                     runner.checkpoint_mirror = _mirror
             config = config_from_dict(task["config"])

@@ -272,6 +272,12 @@ class LoadedTrace:
     def handler_fid(self, index: int) -> int:
         return self._index[index].handler_fid
 
+    def event_weight(self, index: int) -> int:
+        """Recorded true-stream instruction count of event ``index`` (no
+        materialisation) — the extrapolation covariate used by
+        :mod:`repro.sim.sampling`."""
+        return self._index[index].true_count
+
     def looper_stream(self, index: int):
         from repro.isa.instructions import INSTR_BYTES, KIND_IBRANCH
 

@@ -12,7 +12,10 @@ activity (workers joined/left, leases stolen, degradations to a local
 backend; the ``remote —`` summary line) and the artifact-plane activity
 of shared-nothing fleets (``fetch`` records for served transfers,
 ``quarantine-propagated`` records for digests poisoned fleet-wide; the
-``store —`` summary line) — as a human-readable
+``store —`` summary line) and the sampled-fidelity activity (runs served
+at ``fidelity=sampled``, their detailed/extrapolated event split and the
+worst reported error bound; the ``sampling —`` summary line) — as a
+human-readable
 table plus a machine-readable summary dict (``--json``). Every quarantine event the harness performs is
 a ``corrupt`` record, so this report is the audit trail of how much
 on-disk state had to be regenerated.
@@ -29,6 +32,7 @@ def _fresh_app_bucket() -> dict:
             "checkpoints": 0, "resumes": 0,
             "kernels": {}, "backends": {},
             "memo_replayed": 0, "memo_recorded": 0,
+            "sampled_runs": 0, "sampled_events": 0, "detailed_events": 0,
             "trace_load_s": 0.0, "simulate_s": 0.0, "store_s": 0.0}
 
 
@@ -48,6 +52,8 @@ def summarize(records) -> dict:
          "remote_steals": int, "remote_degraded": int,
          "store_fetches": int, "store_fetch_bytes": int,
          "store_quarantines": int,
+         "sampled_runs": int, "sampled_events": int,
+         "detailed_events": int, "max_error_bound": float,
          "simulate_s": float, "apps": {app: {...per-app...}}}
 
     Per-app buckets carry run/hit/retry/corruption/failure counts, the
@@ -65,6 +71,8 @@ def summarize(records) -> dict:
     checkpoints = resumes = resume_fallbacks = stalled_kills = 0
     workers_joined = workers_left = steals = remote_degraded = 0
     store_fetches = store_fetch_bytes = store_quarantines = 0
+    sampled_runs = 0
+    max_error_bound = 0.0
     corrupt_by_artifact: dict[str, int] = {}
     backend_choices: dict[str, int] = {}
     for record in records:
@@ -95,6 +103,18 @@ def summarize(records) -> dict:
                     value = record.get(field)
                     if isinstance(value, int):
                         bucket[field] += value
+            # sampled-fidelity accounting covers hits too: a sampled
+            # cache hit still served sampled numbers to its consumer
+            if record.get("fidelity") == "sampled":
+                sampled_runs += 1
+                bucket["sampled_runs"] += 1
+                for field in ("sampled_events", "detailed_events"):
+                    value = record.get(field)
+                    if isinstance(value, int):
+                        bucket[field] += value
+                bound = record.get("max_error_bound")
+                if isinstance(bound, (int, float)):
+                    max_error_bound = max(max_error_bound, float(bound))
             for field in ("trace_load_s", "simulate_s", "store_s"):
                 value = record.get(field)
                 if isinstance(value, (int, float)):
@@ -197,6 +217,11 @@ def summarize(records) -> dict:
         "store_fetch_bytes": store_fetch_bytes,
         "store_quarantines": store_quarantines,
         "kernels": {k: kernels_total[k] for k in sorted(kernels_total)},
+        "sampled_runs": sampled_runs,
+        "sampled_events": sum(b["sampled_events"] for b in apps.values()),
+        "detailed_events": sum(b["detailed_events"]
+                               for b in apps.values()),
+        "max_error_bound": max_error_bound,
         "memo_replayed": memo_replayed,
         "memo_recorded": memo_recorded,
         "memo_hit_rate": memo_replayed / memo_events if memo_events
@@ -283,6 +308,13 @@ def format_table(summary: dict) -> str:
             f"generation fallbacks: {summary.get('resume_fallbacks', 0)}, "
             f"stalled workers killed: {summary.get('stalled_kills', 0)}, "
             f"tasks requeued: {summary.get('requeued', 0)}")
+    if summary.get("sampled_runs"):
+        lines.append(
+            f"sampling — sampled runs: {summary['sampled_runs']}, "
+            f"events detailed: {summary.get('detailed_events', 0)}, "
+            f"extrapolated: {summary.get('sampled_events', 0)}, "
+            f"max error bound: "
+            f"{100 * summary.get('max_error_bound', 0.0):.2f}%")
     if summary.get("remote_workers_joined") \
             or summary.get("remote_steals") \
             or summary.get("remote_degraded"):

@@ -118,6 +118,7 @@ from repro.resilience import (CheckpointStore, GridManifest, Heartbeat,
                               unwrap_result, wrap_result)
 from repro.sim.config import SimConfig
 from repro.sim.results import RESULT_SCHEMA, SimResult
+from repro.sim.sampling import FIDELITY_NAMES, fidelity_from_env
 from repro.sim.simulator import Simulator
 from repro.workloads import APP_NAMES, EventTrace, get_app
 
@@ -137,6 +138,26 @@ _MEM_LIMIT_ENV = "REPRO_MEM_LIMIT_MB"
 
 #: orphaned ``*.tmp`` files older than this are swept on construction
 STALE_TMP_SECONDS = 3600.0
+
+#: wall-clock step tolerance for the tmp sweep: a file is only deleted
+#: once it looks stale by this margin *beyond* :data:`STALE_TMP_SECONDS`,
+#: so an NTP step smaller than the margin can never push a live writer's
+#: fresh temp file over the cutoff
+TMP_CLOCK_TOLERANCE_SECONDS = 300.0
+
+#: (wall, monotonic) pair captured at import — the anchor for
+#: :func:`_anchored_now`
+_CLOCK_ANCHOR = (time.time(), time.monotonic())
+
+
+def _anchored_now() -> float:
+    """A wall-clock "now" for age comparisons that a forward clock step
+    cannot inflate: the smaller of the live wall clock and the anchor
+    wall time advanced by the (step-immune) monotonic clock. Taking the
+    minimum is deliberately conservative — when the two disagree, files
+    look *younger*, and the sweep errs toward keeping them."""
+    wall, mono = _CLOCK_ANCHOR
+    return min(time.time(), wall + (time.monotonic() - mono))
 
 #: ceiling on the exponential retry backoff between task attempts
 MAX_BACKOFF_SECONDS = 30.0
@@ -310,7 +331,8 @@ def _run_remote(app: str, config: SimConfig, scale: float, seed: int,
                 log_dir: str | None = None, attempt: int = 1,
                 checkpoint_events: int | None = None,
                 heartbeat_timeout: float | None = None,
-                mem_limit_mb: int | None = None) -> dict:
+                mem_limit_mb: int | None = None,
+                fidelity: str | None = None) -> dict:
     """Worker-process entry point: run one simulation, sharing the on-disk
     caches — and the JSONL run log — with the parent (module-level so it
     pickles under fork and spawn alike). ``attempt`` distinguishes retries
@@ -329,7 +351,8 @@ def _run_remote(app: str, config: SimConfig, scale: float, seed: int,
                               log_dir=log_dir,
                               checkpoint_events=checkpoint_events,
                               heartbeat_timeout=heartbeat_timeout,
-                              mem_limit_mb=mem_limit_mb)
+                              mem_limit_mb=mem_limit_mb,
+                              fidelity=fidelity)
     runner.is_worker = True
     runner.worker_attempt = attempt
     runner.backend_label = "process"
@@ -362,7 +385,8 @@ class ExperimentRunner:
                  checkpoint_events: int | None = None,
                  heartbeat_timeout: float | None = None,
                  min_disk_mb: int | None = None,
-                 mem_limit_mb: int | None = None) -> None:
+                 mem_limit_mb: int | None = None,
+                 fidelity: str | None = None) -> None:
         """``backend`` (or ``REPRO_BACKEND``) names the execution
         backend for grid batches — ``serial``, ``thread``, ``process``,
         ``remote`` or ``auto`` (see :mod:`repro.exec`); unset, it
@@ -377,9 +401,19 @@ class ExperimentRunner:
         sets the mid-simulation checkpoint cadence, ``heartbeat_timeout``
         (``REPRO_HEARTBEAT_TIMEOUT``) arms the stalled-worker watchdog,
         and ``min_disk_mb`` / ``mem_limit_mb`` (``REPRO_MIN_DISK_MB`` /
-        ``REPRO_MEM_LIMIT_MB``) set the resource-pressure guards."""
+        ``REPRO_MEM_LIMIT_MB``) set the resource-pressure guards.
+        ``fidelity`` (or ``REPRO_FIDELITY``) selects full-detail or
+        sampled simulation (:mod:`repro.sim.sampling`); sampled results
+        live under cache keys with an explicit ``-sampled`` tag, so the
+        two fidelities can never collide in the result cache."""
         self.scale = float(default_scale() if scale is None else scale)
         self.seed = default_seed() if seed is None else seed
+        if fidelity is not None and fidelity not in FIDELITY_NAMES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r} "
+                f"(expected one of {', '.join(FIDELITY_NAMES)})")
+        self.fidelity = fidelity if fidelity is not None \
+            else (fidelity_from_env() or "full")
         self.cache_dir = Path(cache_dir) if cache_dir is not None \
             else default_cache_dir()
         self.use_disk_cache = use_disk_cache
@@ -558,17 +592,33 @@ class ExperimentRunner:
         """Remove ``*.tmp`` files orphaned by processes that died between
         the temp write and the atomic rename (older than
         :data:`STALE_TMP_SECONDS`; young ones may belong to live writers).
+
+        Ages are measured against :func:`_anchored_now` — the
+        monotonic-anchored floor of the wall clock — with an extra
+        :data:`TMP_CLOCK_TOLERANCE_SECONDS` of slack before deletion, so
+        an NTP step (in either direction) between a live writer stamping
+        its mtime and this sweep running cannot make a seconds-old temp
+        file look an hour stale. Files inside the tolerance band (stale
+        by the nominal cutoff, fresh by the hardened one) are counted in
+        ``cache.tmp_sweep_deferred`` rather than deleted — a persistent
+        non-zero count there means the clocks writing this cache
+        disagree by more than the sweep's slack.
         """
         if not self.cache_dir.exists():
             return
-        cutoff = time.time() - STALE_TMP_SECONDS
+        now = _anchored_now()
+        cutoff = now - STALE_TMP_SECONDS - TMP_CLOCK_TOLERANCE_SECONDS
+        nominal_cutoff = now - STALE_TMP_SECONDS
         for pattern in ("*.tmp", "traces/*.tmp", "manifests/*.tmp",
                         "checkpoints/*.tmp", "heartbeats/*.tmp"):
             for tmp in self.cache_dir.glob(pattern):
                 try:
-                    if tmp.stat().st_mtime < cutoff:
+                    mtime = tmp.stat().st_mtime
+                    if mtime < cutoff:
                         tmp.unlink()
                         self.metrics.inc("cache.tmp_swept")
+                    elif mtime < nominal_cutoff:
+                        self.metrics.inc("cache.tmp_sweep_deferred")
                 except OSError:
                     pass  # vanished concurrently or unwritable: not ours
 
@@ -644,8 +694,12 @@ class ExperimentRunner:
     # -- runs -----------------------------------------------------------------
 
     def _key(self, app: str, config: SimConfig) -> str:
+        # sampled results are estimates with error bounds, not exact
+        # measurements: the explicit tag keeps them from ever answering
+        # (or poisoning) a full-fidelity cache lookup, and vice versa
+        tag = "-sampled" if self.fidelity == "sampled" else ""
         return (f"{app}-{config.cache_key()}-s{self._scale_tag()}"
-                f"-r{self.seed}-{RESULT_SCHEMA}")
+                f"-r{self.seed}-{RESULT_SCHEMA}{tag}")
 
     def _load_cached(self, key: str) -> SimResult | None:
         cached = self._memory.get(key)
@@ -673,7 +727,7 @@ class ExperimentRunner:
         if cached is not None:
             self.metrics.inc("cache.result.hit")
             self._log_run(key, app, config,
-                          "memory" if in_memory else "disk")
+                          "memory" if in_memory else "disk", result=cached)
         return cached
 
     def _store(self, key: str, result: SimResult) -> None:
@@ -701,23 +755,32 @@ class ExperimentRunner:
 
     def _log_run(self, key: str, app: str, config: SimConfig, cache: str,
                  trace_load_s: float = 0.0, simulate_s: float = 0.0,
-                 store_s: float = 0.0) -> None:
+                 store_s: float = 0.0,
+                 result: SimResult | None = None) -> None:
         """Append one ``run`` record (no-op when logging is disabled)."""
         if not self._runlog.enabled:
             return
         kernel, memo_replayed, memo_recorded = \
             self._last_kernel if cache == "simulated" else ("", 0, 0)
-        self._runlog.write({
+        record = {
             "kind": "run", "ts": round(time.time(), 3), "key": key,
             "app": app, "config": config.name,
             "config_digest": config.cache_key(), "scale": self.scale,
             "seed": self.seed, "pid": os.getpid(), "cache": cache,
             "backend": self.backend_label,
+            "fidelity": result.fidelity if result is not None
+            else self.fidelity,
             "kernel": kernel, "memo_replayed": memo_replayed,
             "memo_recorded": memo_recorded,
             "trace_load_s": round(trace_load_s, 6),
             "simulate_s": round(simulate_s, 6),
-            "store_s": round(store_s, 6)})
+            "store_s": round(store_s, 6)}
+        if result is not None and result.fidelity == "sampled":
+            record["sampled_events"] = result.sampled_events
+            record["detailed_events"] = result.detailed_events
+            record["max_error_bound"] = round(
+                max(result.error_bounds.values(), default=0.0), 6)
+        self._runlog.write(record)
 
     def _log_retry(self, key: str, app: str, reason: str) -> None:
         """Append one ``retry`` record (no-op when logging is disabled)."""
@@ -752,7 +815,7 @@ class ExperimentRunner:
         self._store(key, result)
         store_s = time.perf_counter() - t0
         self._log_run(key, app, config, "simulated",
-                      trace_load_s, simulate_s, store_s)
+                      trace_load_s, simulate_s, store_s, result=result)
         return result
 
     def _simulate(self, app: str, config: SimConfig,
@@ -761,7 +824,8 @@ class ExperimentRunner:
         t0 = time.perf_counter()
         trace = self.trace(app)
         t1 = time.perf_counter()
-        sim = Simulator(trace, config, kernel=self.kernel)
+        sim = Simulator(trace, config, kernel=self.kernel,
+                        fidelity=self.fidelity)
         store = self._arm_checkpoints(sim, checkpoint_key, app)
         result = sim.run(**run_kwargs)
         if store is not None:
@@ -948,7 +1012,7 @@ class ExperimentRunner:
             log_dir=self._runlog.log_dir if self._runlog.enabled else None,
             checkpoint_events=self.checkpoint_events,
             heartbeat_timeout=0.0, min_disk_mb=self.min_disk_mb,
-            mem_limit_mb=0)
+            mem_limit_mb=0, fidelity=self.fidelity)
         clone.backend_label = "thread"
         clone.cache_writes_enabled = self.cache_writes_enabled
         return clone
@@ -1268,7 +1332,7 @@ class ExperimentRunner:
                 # the serial retry runs one task at full fan-in: lifting
                 # the per-worker ceiling here is the "reduced fan-out"
                 # that lets a memory-evicted task finish
-                mem_limit_mb=0)
+                mem_limit_mb=0, fidelity=self.fidelity)
             try:
                 payload = future.result(timeout=self.task_timeout)
             except FutureTimeoutError:
@@ -1319,7 +1383,8 @@ class ExperimentRunner:
                 jobs=self.jobs, backend=self.backend_requested,
                 task_timeout=self.task_timeout,
                 max_attempts=self.max_attempts,
-                retry_backoff=self.retry_backoff)
+                retry_backoff=self.retry_backoff,
+                fidelity=self.fidelity)
         manifest.reset_failed()
         pairs = [(task["app"], config_from_dict(task["config"]))
                  for task in manifest.tasks_in_order()]

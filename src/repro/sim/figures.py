@@ -394,7 +394,9 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
 
     ``--jobs N`` (or ``REPRO_JOBS``) fans the underlying simulations over
     N workers; ``--backend`` (or ``REPRO_BACKEND``) picks the execution
-    backend that does the fanning (serial / thread / process / auto).
+    backend that does the fanning (serial / thread / process / auto);
+    ``--fidelity sampled`` (or ``REPRO_FIDELITY``) runs the grid at
+    sampled fidelity (results cached under separate keys).
     """
     import json
     import sys
@@ -420,8 +422,18 @@ def main(argv: list[str] | None = None) -> None:  # pragma: no cover
             raise SystemExit("--backend requires an argument "
                              "(serial / thread / process / auto)")
         del args[at:at + 2]
+    fidelity = None
+    if "--fidelity" in args:
+        at = args.index("--fidelity")
+        try:
+            fidelity = args[at + 1]
+        except IndexError:
+            raise SystemExit("--fidelity requires an argument "
+                             "(full / sampled)")
+        del args[at:at + 2]
     wanted = args or list(ALL_FIGURES)
-    runner = ExperimentRunner(jobs=jobs, backend=backend)
+    runner = ExperimentRunner(jobs=jobs, backend=backend,
+                              fidelity=fidelity)
     for name in wanted:
         figure = ALL_FIGURES[name](runner)
         if as_json:

@@ -64,7 +64,7 @@ from repro.prefetch import (
     StridePrefetcher,
 )
 from repro.runahead import RunaheadController
-from repro.sim.config import SimConfig
+from repro.sim.config import SamplingConfig, SimConfig
 from repro.sim.kernel import (
     KERNEL_NAMES,
     MemoRestart,
@@ -72,6 +72,16 @@ from repro.sim.kernel import (
     kernel_from_env,
 )
 from repro.sim.results import EventProfile, SimResult
+from repro.sim.sampling import (
+    FIDELITY_NAMES,
+    EventSampler,
+    apply_increments,
+    delta_counters,
+    fidelity_from_env,
+    publish_sampler,
+    sampler_for,
+    snapshot_counters,
+)
 from repro.workloads.apps import AppProfile
 from repro.workloads.generator import EventTrace
 
@@ -87,7 +97,9 @@ class Simulator:
     def __init__(self, trace: EventTrace | AppProfile, config: SimConfig,
                  scale: float = 1.0, seed: int = 0,
                  schedule=None, use_packed: bool | None = None,
-                 kernel: str | None = None) -> None:
+                 kernel: str | None = None,
+                 fidelity: str | None = None,
+                 sampling: SamplingConfig | None = None) -> None:
         """``schedule`` (an :class:`~repro.runtime.ExecutionSchedule`)
         replays the trace's events in an arbitrary runtime-decided order
         with explicit next-event predictions — the multi-queue extension of
@@ -102,6 +114,12 @@ class Simulator:
         wins (see :meth:`_resolve_kernel`). Runahead always uses the
         object path — its pre-execution consumes the remainder of the live
         ``Instruction`` stream.
+
+        ``fidelity`` selects between exact simulation (``"full"``, the
+        default) and sampled simulation with live extrapolation
+        (``"sampled"``, :mod:`repro.sim.sampling`); when omitted the
+        ``REPRO_FIDELITY`` environment knob is consulted. ``sampling``
+        tunes the sampled mode's convergence/probing knobs.
         """
         if isinstance(trace, AppProfile):
             trace = EventTrace(trace, scale=scale, seed=seed)
@@ -113,6 +131,16 @@ class Simulator:
             raise ValueError(f"unknown kernel {kernel!r} "
                              f"(expected one of {', '.join(KERNEL_NAMES)})")
         self.kernel = kernel
+        if fidelity is not None and fidelity not in FIDELITY_NAMES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r} "
+                f"(expected one of {', '.join(FIDELITY_NAMES)})")
+        self.fidelity = fidelity
+        self.sampling = sampling
+        #: set by :meth:`run`: the fidelity actually used
+        self.fidelity_used: str | None = None
+        self._sampler: EventSampler | None = None
+        self._pending_sampler: EventSampler | None = None
         #: set by :meth:`run`: the hot-loop implementation actually used
         self.kernel_used: str | None = None
         #: set by :meth:`run` under the vector kernel: events satisfied
@@ -229,6 +257,14 @@ class Simulator:
 
     # -- main loop ---------------------------------------------------------------
 
+    def _resolve_fidelity(self) -> str:
+        """An explicit ``fidelity`` constructor argument wins, then the
+        ``REPRO_FIDELITY`` environment knob; the default is exact full
+        detail."""
+        if self.fidelity is not None:
+            return self.fidelity
+        return fidelity_from_env() or "full"
+
     def _resolve_kernel(self) -> str:
         """Pick the hot-loop implementation for this run.
 
@@ -242,6 +278,11 @@ class Simulator:
         loop otherwise. A ``vector`` request on an ineligible
         configuration also falls back to packed: the request names a
         preference, and eligibility is a property of the config.
+
+        Sampled fidelity makes every configuration vector-ineligible:
+        extrapolated events break the memo's execution-history token
+        chain (the events the kernel would key on are never run), so
+        sampled runs use the packed loop for their detailed events.
         """
         if self.use_packed is False or self.runahead is not None:
             return "object"
@@ -254,7 +295,8 @@ class Simulator:
             return requested
         eligible = (self.esp is None and self.runahead is None
                     and self.stride is None and self.efetch is None
-                    and self.pif is None)
+                    and self.pif is None
+                    and self.fidelity_used != "sampled")
         return "vector" if eligible else "packed"
 
     def _reset_for_restart(self) -> None:
@@ -296,6 +338,17 @@ class Simulator:
         n_events = len(order)
         computed_warmup = min(max(4, round(n_events * warmup_fraction)),
                               max(0, n_events - 1))
+
+        self.fidelity_used = self._resolve_fidelity()
+        sampler: EventSampler | None = None
+        if self.fidelity_used == "sampled":
+            if self._pending_sampler is not None:
+                # checkpoint restore: continue the checkpointed sampler
+                sampler = self._pending_sampler
+                self._pending_sampler = None
+            else:
+                sampler = sampler_for(trace, config, self.sampling)
+        self._sampler = sampler
 
         kernel_name = self._resolve_kernel()
         self.kernel_used = kernel_name
@@ -356,60 +409,102 @@ class Simulator:
                         # ready times, outstanding-miss windows) are
                         # absolute
                         cycle_offset = cycle
-                    if esp is not None:
-                        esp.begin_event(k, int(cycle), position=position)
-                    event_start = (cycle, result.instructions,
-                                   result.stall_ifetch, result.stall_data,
-                                   result.stall_branch)
-                    event = trace.event(k)
-                    if event.diverged:
-                        result.esp.diverged_events += 1
-                    wset_i: set[int] | None = set() \
-                        if self.collect_working_sets else None
-                    wset_d: set[int] | None = set() \
-                        if self.collect_working_sets else None
-
-                    if fast_path or vector_path:
-                        packer = getattr(event, "packed_true", None)
-                        packed_true = packer() if packer is not None \
-                            else PackedStream.from_instructions(
-                                event.true_stream)
-                        packed_looper = packed_looper_of(k) \
-                            if packed_looper_of is not None \
-                            else PackedStream.from_instructions(
-                                trace.looper_stream(k))
-                        if vector_path:
-                            cycle, cur_block = kern.run_event(
-                                (packed_looper, packed_true), cycle,
-                                cur_block, wset_i, wset_d)
-                        else:
-                            cycle, cur_block = self._run_streams_packed(
-                                (packed_looper, packed_true), cycle,
-                                cur_block, wset_i, wset_d)
+                    measured = position >= warmup_events
+                    plan = "detailed"
+                    cls = weight = 0
+                    if sampler is not None:
+                        cls = trace.handler_fid(k)
+                        weight = trace.event_weight(k)
+                        plan = sampler.plan(k, cls)
+                        if plan == "probe" and not measured:
+                            # a warm-up probe would compare cold-cache
+                            # rates against the warm model and spuriously
+                            # re-arm; probing starts with measurement
+                            plan = "extrapolate"
+                    if plan == "replay":
+                        # this exact event ran in detail before: apply
+                        # its memoized counter delta verbatim
+                        cycle += apply_increments(
+                            self, sampler.replay(k, cls, measured))
+                        result.events += 1
+                    elif plan == "extrapolate":
+                        # synthesised event: no materialisation, no hot
+                        # loop, no ESP pre-execution — counters advance
+                        # by the class model's learned rates × weight
+                        inc = sampler.extrapolate(cls, weight, measured)
+                        cycle += apply_increments(self, inc)
+                        result.events += 1
                     else:
-                        cycle, cur_block = self._run_streams_object(
-                            k, event, cycle, cur_block, wset_i, wset_d)
+                        if sampler is not None:
+                            counters_before = snapshot_counters(
+                                self, cycle)
+                        if esp is not None:
+                            esp.begin_event(k, int(cycle),
+                                            position=position)
+                        event_start = (cycle, result.instructions,
+                                       result.stall_ifetch,
+                                       result.stall_data,
+                                       result.stall_branch)
+                        event = trace.event(k)
+                        if event.diverged:
+                            result.esp.diverged_events += 1
+                        wset_i: set[int] | None = set() \
+                            if self.collect_working_sets else None
+                        wset_d: set[int] | None = set() \
+                            if self.collect_working_sets else None
 
-                    result.events += 1
-                    if self.collect_event_profile \
-                            and position >= warmup_events:
-                        self.event_profiles.append(EventProfile(
-                            event_index=k,
-                            instructions=result.instructions
-                            - event_start[1],
-                            cycles=cycle - event_start[0],
-                            stall_ifetch=result.stall_ifetch
-                            - event_start[2],
-                            stall_data=result.stall_data - event_start[3],
-                            stall_branch=result.stall_branch
-                            - event_start[4],
-                            hinted=replay.active if replay is not None
-                            else False))
-                    if wset_i is not None:
-                        self.normal_i_working_sets.append(len(wset_i))
-                        self.normal_d_working_sets.append(len(wset_d))
-                    if esp is not None:
-                        esp.finish_event()
+                        if fast_path or vector_path:
+                            packer = getattr(event, "packed_true", None)
+                            packed_true = packer() if packer is not None \
+                                else PackedStream.from_instructions(
+                                    event.true_stream)
+                            packed_looper = packed_looper_of(k) \
+                                if packed_looper_of is not None \
+                                else PackedStream.from_instructions(
+                                    trace.looper_stream(k))
+                            if vector_path:
+                                cycle, cur_block = kern.run_event(
+                                    (packed_looper, packed_true), cycle,
+                                    cur_block, wset_i, wset_d)
+                            else:
+                                cycle, cur_block = \
+                                    self._run_streams_packed(
+                                        (packed_looper, packed_true),
+                                        cycle, cur_block, wset_i, wset_d)
+                        else:
+                            cycle, cur_block = self._run_streams_object(
+                                k, event, cycle, cur_block, wset_i,
+                                wset_d)
+
+                        result.events += 1
+                        if self.collect_event_profile \
+                                and position >= warmup_events:
+                            self.event_profiles.append(EventProfile(
+                                event_index=k,
+                                instructions=result.instructions
+                                - event_start[1],
+                                cycles=cycle - event_start[0],
+                                stall_ifetch=result.stall_ifetch
+                                - event_start[2],
+                                stall_data=result.stall_data
+                                - event_start[3],
+                                stall_branch=result.stall_branch
+                                - event_start[4],
+                                hinted=replay.active if replay is not None
+                                else False))
+                        if wset_i is not None:
+                            self.normal_i_working_sets.append(len(wset_i))
+                            self.normal_d_working_sets.append(len(wset_d))
+                        if esp is not None:
+                            esp.finish_event()
+                        if sampler is not None:
+                            sampler.observe(
+                                k, cls,
+                                delta_counters(
+                                    snapshot_counters(self, cycle),
+                                    counters_before),
+                                weight, measured=measured,
+                                probe=plan == "probe")
                     if checkpoint_every and checkpoint_sink is not None \
                             and (position + 1) % checkpoint_every == 0 \
                             and position + 1 < n_events:
@@ -444,6 +539,15 @@ class Simulator:
         result.prefetches_issued_d = d_stats.issued
         result.prefetches_useful_d = d_stats.useful
         result.prefetches_late_d = d_stats.late
+
+        if sampler is not None:
+            result.fidelity = "sampled"
+            n_sampled = sampler.replay_hits_measured + sum(
+                m.extrapolated_measured for m in sampler.models.values())
+            result.sampled_events = n_sampled
+            result.detailed_events = result.events - n_sampled
+            result.error_bounds = sampler.error_bounds(result)
+            publish_sampler(trace, config, self.sampling, sampler)
 
         from repro.energy import compute_energy
 
@@ -936,6 +1040,11 @@ class Simulator:
                                  ("pif", self.pif))
             },
             "esp": self.esp.state_dict() if self.esp is not None else None,
+            # absent from pre-sampling checkpoints; restore() defaults the
+            # missing key to full fidelity, so the version tag can stay
+            "fidelity": self.fidelity_used or "full",
+            "sampling": (self._sampler.state_dict()
+                         if self._sampler is not None else None),
             "normal_i_working_sets": list(self.normal_i_working_sets),
             "normal_d_working_sets": list(self.normal_d_working_sets),
             "event_profiles": [asdict(p) for p in self.event_profiles],
@@ -968,6 +1077,11 @@ class Simulator:
         if (state["esp"] is None) != (self.esp is None):
             raise ValueError(
                 "checkpoint and simulator disagree on ESP being enabled")
+        ckpt_fidelity = state.get("fidelity", "full")
+        if ckpt_fidelity != self._resolve_fidelity():
+            raise ValueError(
+                f"checkpoint was taken at {ckpt_fidelity!r} fidelity, "
+                f"this simulator runs at {self._resolve_fidelity()!r}")
         prefetchers = (("nl_i", self.nl_i), ("dcu", self.dcu),
                        ("stride", self.stride), ("efetch", self.efetch),
                        ("pif", self.pif))
@@ -1008,6 +1122,9 @@ class Simulator:
         self.normal_d_working_sets = list(state["normal_d_working_sets"])
         self.event_profiles = [EventProfile(**p)
                                for p in state["event_profiles"]]
+        if ckpt_fidelity == "sampled" and state.get("sampling") is not None:
+            self._pending_sampler = EventSampler.from_state(
+                state["sampling"], self.sampling, fresh_run=False)
         self._pending_restore = dict(state["loop"])
         # the segment memo is derived state: it is deliberately absent
         # from the checkpoint payload, and a restored simulator is no
@@ -1018,10 +1135,12 @@ class Simulator:
 
 
 def simulate(app: str | AppProfile, config: SimConfig, scale: float = 1.0,
-             seed: int = 0, **run_kwargs) -> SimResult:
+             seed: int = 0, fidelity: str | None = None,
+             **run_kwargs) -> SimResult:
     """Convenience wrapper: build a trace for ``app`` and run ``config``."""
     if isinstance(app, str):
         from repro.workloads.apps import get_app
 
         app = get_app(app)
-    return Simulator(app, config, scale=scale, seed=seed).run(**run_kwargs)
+    sim = Simulator(app, config, scale=scale, seed=seed, fidelity=fidelity)
+    return sim.run(**run_kwargs)

@@ -9,9 +9,11 @@ import pytest
 
 import repro.sim.experiments as experiments_mod
 from repro.sim import presets
-from repro.sim.experiments import (STALE_TMP_SECONDS, ExperimentRunner,
-                                   default_cache_dir, default_scale,
-                                   default_seed, default_task_timeout)
+from repro.sim.experiments import (STALE_TMP_SECONDS,
+                                   TMP_CLOCK_TOLERANCE_SECONDS,
+                                   ExperimentRunner, default_cache_dir,
+                                   default_scale, default_seed,
+                                   default_task_timeout)
 from repro.sim.config import SimConfig
 from repro.sim.results import RESULT_SCHEMA
 
@@ -214,7 +216,9 @@ class TestStaleTmpSweep:
     """Construction sweeps ``*.tmp`` files orphaned by dead writers."""
 
     def _age(self, path):
-        old = time.time() - STALE_TMP_SECONDS - 60
+        # past the cutoff *including* the clock-step tolerance band
+        old = (time.time() - STALE_TMP_SECONDS
+               - TMP_CLOCK_TOLERANCE_SECONDS - 60)
         os.utime(path, (old, old))
 
     def test_stale_tmp_removed_fresh_kept(self, tmp_path):
@@ -247,6 +251,47 @@ class TestStaleTmpSweep:
         self._age(entry)
         ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
         assert entry.exists()
+
+    def test_forward_clock_step_cannot_sweep_a_live_writer(
+            self, tmp_path, monkeypatch):
+        """Regression: the cutoff used to come straight off
+        ``time.time()``, so an NTP step forward between a live writer
+        stamping its temp file and the sweep running made a seconds-old
+        file look hours stale and deleted it out from under the writer.
+        The monotonic-anchored clock floor must keep it alive."""
+        fresh = tmp_path / "live.json.111.tmp"
+        fresh.write_text("{live")
+        real_time = time.time
+        step = STALE_TMP_SECONDS + TMP_CLOCK_TOLERANCE_SECONDS + 3600
+        monkeypatch.setattr(experiments_mod.time, "time",
+                            lambda: real_time() + step)
+        ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+        assert fresh.exists()
+
+    def test_near_cutoff_files_deferred_not_deleted(self, tmp_path):
+        """A file inside the tolerance band (stale by the nominal
+        cutoff, fresh by the hardened one) survives the sweep and is
+        counted in ``cache.tmp_sweep_deferred``."""
+        from repro.obs import metrics as metrics_mod
+
+        registry = metrics_mod.MetricsRegistry()
+        previous = metrics_mod.set_registry(registry)
+        try:
+            near = tmp_path / "near.json.222.tmp"
+            near.write_text("{near-cutoff")
+            old = time.time() - STALE_TMP_SECONDS - 60
+            os.utime(near, (old, old))
+            gone = tmp_path / "gone.json.333.tmp"
+            gone.write_text("{orphan")
+            self._age(gone)
+            ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0)
+            counters = registry.snapshot()["counters"]
+            assert near.exists()
+            assert not gone.exists()
+            assert counters.get("cache.tmp_sweep_deferred") == 1
+            assert counters.get("cache.tmp_swept") == 1
+        finally:
+            metrics_mod.set_registry(previous)
 
 
 class TestTraceCache:

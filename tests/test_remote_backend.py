@@ -332,3 +332,47 @@ class TestProbeTimeout:
         assert auto_mod.probe_ceiling_s() == auto_mod.ROUNDTRIP_CEILING_S
         monkeypatch.setenv("REPRO_PROBE_TIMEOUT", "0.25")
         assert auto_mod.probe_ceiling_s() == 0.25
+
+
+class TestQuarantineWriteFailure:
+    """A rejected remote payload whose forensic copy cannot land (sick
+    quarantine volume) must be surfaced, never silently swallowed."""
+
+    def _coordinator(self, tmp_path, log_dir):
+        from repro.exec.remote import _Coordinator
+        from repro.sim.config import SimConfig
+
+        runner = ExperimentRunner(cache_dir=tmp_path, scale=0.25, seed=0,
+                                  log_dir=log_dir)
+        todo = [("k1", "pixlr", SimConfig())]
+        return _Coordinator(runner, todo, results={}, progress=None,
+                            lease_s=1.0, wait_s=1.0), runner
+
+    def test_metric_and_runlog_record_on_unwritable_quarantine(
+            self, tmp_path, recording_metrics):
+        coord, runner = self._coordinator(tmp_path, tmp_path / "logs")
+        # a *file* where the quarantine directory should be: mkdir
+        # inside _quarantine_payload raises OSError
+        blocked = tmp_path / "quarantine"
+        blocked.write_text("not a directory")
+        assert runner.quarantine_dir == blocked
+        coord._quarantine_payload("k1", {"cycles": 1}, "digest mismatch")
+        counters = recording_metrics.snapshot()["counters"]
+        assert counters.get("remote.quarantine_write_failed") == 1
+        assert counters.get("remote.digest_mismatch") == 1
+        records = [r for r in iter_records(tmp_path / "logs")
+                   if r.get("kind") == "corrupt"]
+        assert len(records) == 1
+        assert records[0]["quarantined"] is None
+        assert "OSError" in records[0]["quarantine_write_failed"] \
+            or "Error" in records[0]["quarantine_write_failed"]
+
+    def test_healthy_quarantine_writes_and_stays_silent(
+            self, tmp_path, recording_metrics):
+        coord, runner = self._coordinator(tmp_path, tmp_path / "logs")
+        coord._quarantine_payload("k1", {"cycles": 1}, "digest mismatch")
+        counters = recording_metrics.snapshot()["counters"]
+        assert "remote.quarantine_write_failed" not in counters
+        from pathlib import Path
+        files = list(Path(runner.quarantine_dir).glob("remote-k1.*"))
+        assert len(files) == 1
